@@ -1,0 +1,106 @@
+(* legoc: the LEGO layout compiler CLI.
+
+   Takes a layout in the textual notation and prints its table, applies
+   or inverts indices, or emits C / Triton / MLIR index code — the
+   standalone-tool role the paper describes.
+
+     dune exec bin/legoc.exe -- 'OrderBy(GenP(antidiag[3,3])).GroupBy([3,3])' --table
+     dune exec bin/legoc.exe -- 'TileOrderBy(Col(8, 6)).TileBy([4,2],[2,3])' --emit-c
+     dune exec bin/legoc.exe -- '...' --apply 4,2 --inv 15 *)
+
+open Cmdliner
+module L = Lego_layout
+
+let layout_arg =
+  let doc = "Layout in LEGO notation, e.g. \
+             'OrderBy2(RegP([2,2],[2,1])).GroupBy2([4,4])'." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"LAYOUT" ~doc)
+
+let table_flag =
+  Arg.(value & flag & info [ "table" ] ~doc:"Print the logical-to-physical table.")
+
+let apply_arg =
+  let doc = "Apply the layout to a comma-separated logical index." in
+  Arg.(value & opt (some string) None & info [ "apply" ] ~docv:"I,J,..." ~doc)
+
+let inv_arg =
+  let doc = "Invert a flat physical offset." in
+  Arg.(value & opt (some int) None & info [ "inv" ] ~docv:"P" ~doc)
+
+let c_flag =
+  Arg.(value & flag & info [ "emit-c" ] ~doc:"Emit the C index expression.")
+
+let triton_flag =
+  Arg.(value & flag & info [ "emit-triton" ] ~doc:"Emit the Triton index expression.")
+
+let mlir_flag =
+  Arg.(value & flag & info [ "emit-mlir" ] ~doc:"Emit an MLIR index function.")
+
+let check_flag =
+  Arg.(value & flag & info [ "check" ] ~doc:"Exhaustively verify bijectivity.")
+
+let parse_index s =
+  try List.map int_of_string (String.split_on_char ',' (String.trim s))
+  with Failure _ -> failwith (Printf.sprintf "bad index %S" s)
+
+let run layout_text table apply_idx inv_p emit_c emit_triton emit_mlir check =
+  match Lego_lang.Elab.layout_of_string layout_text with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok g ->
+    let nothing_requested =
+      (not table) && apply_idx = None && inv_p = None && (not emit_c)
+      && (not emit_triton) && (not emit_mlir) && not check
+    in
+    Printf.printf "layout: %s\n" (Format.asprintf "%a" L.Group_by.pp g);
+    Printf.printf "logical shape: %s, %d elements\n"
+      (Format.asprintf "%a" L.Shape.pp (L.Group_by.dims g))
+      (L.Group_by.numel g);
+    if table || nothing_requested then begin
+      print_endline "table (row-major logical order):";
+      Seq.iter
+        (fun idx ->
+          Printf.printf "  [%s] -> %d\n"
+            (String.concat ", " (List.map string_of_int idx))
+            (L.Group_by.apply_ints g idx))
+        (Seq.take (min 64 (L.Group_by.numel g))
+           (L.Shape.indices (L.Group_by.dims g)));
+      if L.Group_by.numel g > 64 then print_endline "  ... (first 64 shown)"
+    end;
+    Option.iter
+      (fun s ->
+        let idx = parse_index s in
+        Printf.printf "apply [%s] = %d\n" s (L.Group_by.apply_ints g idx))
+      apply_idx;
+    Option.iter
+      (fun p ->
+        Printf.printf "inv %d = [%s]\n" p
+          (String.concat ", "
+             (List.map string_of_int (L.Group_by.inv_ints g p))))
+      inv_p;
+    let offset = lazy (Lego_symbolic.Sym.apply g) in
+    if emit_c then
+      Printf.printf "C: %s\n" (Lego_codegen.C_printer.expr (Lazy.force offset));
+    if emit_triton then
+      Printf.printf "Triton: %s\n"
+        (Lego_codegen.Triton_printer.expr (Lazy.force offset));
+    if emit_mlir then
+      print_string (Lego_codegen.Mlir_gen.layout_apply_func ~name:"apply" g);
+    if check then begin
+      match L.Check.layout g with
+      | Ok () -> print_endline "bijection: verified"
+      | Error e ->
+        Printf.printf "bijection: FAILED (%s)\n" e
+    end;
+    0
+
+let cmd =
+  let doc = "derive index mappings from LEGO layout expressions" in
+  let info = Cmd.info "legoc" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ layout_arg $ table_flag $ apply_arg $ inv_arg $ c_flag
+      $ triton_flag $ mlir_flag $ check_flag)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/layout_explorer.ml: Array Check Format Gallery Group_by Lego_lang Lego_layout List Order_by Piece Printf Seq Shape Sys

@@ -1,0 +1,1 @@
+examples/matmul_codegen.ml: Lego_codegen Lego_layout Lego_symbolic Sugar

@@ -1,0 +1,1 @@
+examples/mlir_transpose.ml: Array Gallery Group_by Lego_codegen Lego_layout Lego_mlirsim Lego_symbolic Order_by Printf Sugar

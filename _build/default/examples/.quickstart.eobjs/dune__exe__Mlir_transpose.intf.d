@@ -1,0 +1,1 @@
+examples/mlir_transpose.mli:

@@ -1,0 +1,1 @@
+examples/nw_layout.ml: Fun Gallery Group_by Lego_apps Lego_codegen Lego_layout Lego_symbolic List Nw Order_by Printf String

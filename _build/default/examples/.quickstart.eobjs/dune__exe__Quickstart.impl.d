@@ -1,0 +1,1 @@
+examples/quickstart.ml: Check Gallery Group_by Lego_codegen Lego_lang Lego_layout Lego_symbolic List Order_by Piece Printf Sigma String

@@ -1,0 +1,55 @@
+(* Explore the gallery of general bijections that the CuTe/Graphene
+   stride algebra cannot express (section 3.3 / section 8 of the paper).
+
+   Run with: dune exec examples/layout_explorer.exe -- [notation] *)
+
+open Lego_layout
+
+let print_table g =
+  match Group_by.dims g with
+  | [ rows; cols ] ->
+    for i = 0 to rows - 1 do
+      for j = 0 to cols - 1 do
+        Printf.printf "%4d" (Group_by.apply_ints g [ i; j ])
+      done;
+      print_newline ()
+    done
+  | dims ->
+    Printf.printf "(%d-D layout; showing flat table)\n" (List.length dims);
+    Seq.iter
+      (fun idx -> Printf.printf "%d " (Group_by.apply_ints g idx))
+      (Shape.indices dims);
+    print_newline ()
+
+let show name g =
+  Printf.printf "\n-- %s: %s --\n" name (Format.asprintf "%a" Group_by.pp g);
+  print_table g;
+  match Check.layout g with
+  | Ok () -> ()
+  | Error e -> Printf.printf "NOT A BIJECTION: %s\n" e
+
+let of_piece piece =
+  Group_by.make
+    ~chain:[ Order_by.make [ piece ] ]
+    [ Piece.dims piece ]
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | notation :: _ -> (
+    (* Explore any layout given in the textual notation. *)
+    match Lego_lang.Elab.layout_of_string notation with
+    | Ok g -> show "user layout" g
+    | Error e ->
+      prerr_endline e;
+      exit 1)
+  | [] ->
+    show "anti-diagonal 5x5" (of_piece (Gallery.antidiag 5));
+    show "Z-Morton 8x8" (of_piece (Gallery.morton ~d:2 ~bits:3));
+    show "Hilbert 8x8" (of_piece (Gallery.hilbert ~bits:3));
+    show "XOR swizzle 8x8" (of_piece (Gallery.xor_swizzle ~rows:8 ~cols:8));
+    show "cyclic diagonal 5x5" (of_piece (Gallery.cyclic_diag 5));
+    show "complemented row-major 4x6" (of_piece (Gallery.reverse [ 4; 6 ]));
+    print_endline
+      "\npass a layout in LEGO notation to explore your own, e.g.:\n\
+      \  dune exec examples/layout_explorer.exe -- \
+       'OrderBy(GenP(hilbert[16,16])).GroupBy([16,16])'"

@@ -1,0 +1,1 @@
+lib/apps/group_gemm.ml: Lego_layout Matmul

@@ -1,0 +1,1 @@
+lib/apps/group_gemm.mli: Lego_gpusim Lego_layout Matmul

@@ -1,0 +1,1 @@
+lib/apps/matmul.ml: Array Device Float Fun Lego_gpusim Lego_layout Lego_symbolic List Mem Metrics Printf Simt

@@ -1,0 +1,1 @@
+lib/apps/matmul.mli: Lego_gpusim Lego_layout Stdlib

@@ -1,0 +1,1 @@
+lib/apps/nw.ml: Array Device Float Hashtbl Lego_gpusim Lego_layout List Mem Metrics Printf Simt

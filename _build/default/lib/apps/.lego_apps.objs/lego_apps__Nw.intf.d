@@ -1,0 +1,1 @@
+lib/apps/nw.mli: Lego_gpusim Stdlib

@@ -1,0 +1,1 @@
+lib/apps/softmax.ml: Array Device Float Fun Lego_gpusim Lego_layout Mem Metrics Printf Simt

@@ -1,0 +1,1 @@
+lib/apps/softmax.mli: Lego_gpusim Lego_layout Stdlib

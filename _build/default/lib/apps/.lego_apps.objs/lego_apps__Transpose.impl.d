@@ -1,0 +1,1 @@
+lib/apps/transpose.ml: Device Float Lego_gpusim Lego_layout Mem Metrics Printf Simt

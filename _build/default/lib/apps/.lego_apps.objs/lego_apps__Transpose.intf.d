@@ -1,0 +1,1 @@
+lib/apps/transpose.mli: Lego_gpusim Stdlib

@@ -1,0 +1,42 @@
+(** Needleman–Wunsch (Rodinia), figure 14 of the paper.
+
+    The CUDA implementation keeps a [(b+1) x (b+1)] score buffer in shared
+    memory and updates its anti-diagonals in parallel; with the standard
+    row-major layout those accesses are stride-[b], i.e. heavily
+    bank-conflicted.  The paper replaces the buffer's layout with the
+    anti-diagonal order of figure 8 (through an [Arr2D] wrapper whose
+    indexing LEGO generates), making wavefront accesses unit-stride and
+    gaining 1.4-2.1x.  [run] reproduces both variants on the simulator;
+    the kernels also compute the real DP scores so small instances can be
+    validated against {!cpu_reference}. *)
+
+type layout_kind = RowMajor | AntiDiagonal
+
+type config = {
+  length : int;  (** sequence length; must be a multiple of [b] *)
+  b : int;  (** CUDA block edge (Rodinia uses 16) *)
+  penalty : int;
+  compute_values : bool;
+}
+
+val default_config : ?b:int -> ?penalty:int -> int -> config
+
+type result = {
+  time_s : float;
+  cells_per_s : float;  (** DP cell updates per second *)
+  reports : Lego_gpusim.Simt.report list;
+  scores : Lego_gpusim.Mem.buffer;  (** the [(L+1)^2] DP matrix *)
+}
+
+val buff_index : layout_kind -> b:int -> int -> int -> int
+(** The shared-buffer offset of logical [(i, j)] under the chosen layout
+    (the [Arr2D] operator of the paper, LEGO-generated in the
+    anti-diagonal case). *)
+
+val run :
+  ?device:Lego_gpusim.Device.t -> layout_kind -> config -> result
+
+val cpu_reference : config -> int array
+(** Sequential DP over the same random inputs. *)
+
+val check_numerics : layout_kind -> config -> (unit, string) Stdlib.result

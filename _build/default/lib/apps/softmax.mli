@@ -1,0 +1,47 @@
+(** Row-wise softmax (figure 12d of the paper).
+
+    The LEGO/Triton implementation is a single fused kernel — each row is
+    loaded once, reduced, exponentiated and written once.  The PyTorch
+    eager baseline executes one kernel per algebraic step, re-reading the
+    operand from global memory each time; at large row lengths both
+    fused versions beat it by the traffic ratio, which is the effect the
+    paper's figure shows. *)
+
+type config = {
+  rows : int;
+  cols : int;
+  dtype : Lego_gpusim.Mem.dtype;
+  compute_values : bool;
+}
+
+val default_config : ?rows:int -> int -> config
+(** [default_config cols] with 4096 rows, FP32, values off. *)
+
+type result = {
+  time_s : float;
+  gbps : float;  (** effective bandwidth on the useful 2N bytes *)
+  reports : Lego_gpusim.Simt.report list;
+}
+
+val row_layout : config -> Lego_layout.Group_by.t
+(** Row-major [rows x cols] LEGO view used for the offsets. *)
+
+val run_fused :
+  ?device:Lego_gpusim.Device.t ->
+  ?sample_blocks:int ->
+  ?input:Lego_gpusim.Mem.buffer ->
+  ?output:Lego_gpusim.Mem.buffer ->
+  config ->
+  result
+(** The LEGO-generated (and, identically, Triton reference) fused kernel:
+    one block per row. *)
+
+val run_eager :
+  ?device:Lego_gpusim.Device.t ->
+  ?sample_blocks:int ->
+  config ->
+  result
+(** PyTorch eager baseline: max, subtract+exp, sum, divide as four
+    separate kernel launches. *)
+
+val check_numerics : config -> (unit, string) Stdlib.result

@@ -1,0 +1,160 @@
+module L = Lego_layout
+module G = Lego_gpusim
+open G
+
+type smem_layout = Unpadded | Padded | Swizzled
+
+type config = { m : int; n : int; tile : int; compute_values : bool }
+
+let default_config ?(tile = 32) size =
+  { m = size; n = size; tile; compute_values = false }
+
+type result = {
+  time_s : float;
+  gbps : float;
+  reports : Simt.report list;
+}
+
+let check cfg =
+  if cfg.m mod cfg.tile <> 0 || cfg.n mod cfg.tile <> 0 then
+    invalid_arg "Transpose: matrix must be divisible into tiles"
+
+(* Both offsets are LEGO views indexed by the INPUT coordinates (i, j):
+   the input is the row-major [m x n] view, and the output offset is the
+   same logical index through a column-major-ordered view — transposition
+   is purely a layout change, which is the point of the paper's
+   figure 13 example. *)
+let in_layout cfg = L.Sugar.tiled_view ~group:[ [ cfg.m; cfg.n ] ] ()
+
+let out_layout cfg =
+  L.Sugar.tiled_view
+    ~order:[ L.Sugar.col [ cfg.m; cfg.n ] ]
+    ~group:[ [ cfg.m; cfg.n ] ]
+    ()
+
+let useful_bytes cfg = 2.0 *. float_of_int (cfg.m * cfg.n) *. 4.0
+
+let finish cfg reports =
+  let time_s = Metrics.sum_times_s reports in
+  {
+    time_s;
+    gbps = Metrics.gbps ~useful_bytes:(useful_bytes cfg) time_s;
+    reports;
+  }
+
+let arena_cap = 1 lsl 22
+
+let run_naive ?(device = Device.a100) ?(sample_blocks = 4) cfg =
+  check cfg;
+  let inp, wi = Mem.create_arena ~label:"in" Mem.F32 (cfg.m * cfg.n) ~cap:arena_cap in
+  let out, wo = Mem.create_arena ~label:"out" Mem.F32 (cfg.m * cfg.n) ~cap:arena_cap in
+  let li = in_layout cfg and lo = out_layout cfg in
+  let t = cfg.tile in
+  let kern (ctx : Simt.ctx) =
+    (* One warp-wide row of the tile per thread row; each thread walks the
+       tile column-wise so that reads coalesce and writes do not. *)
+    for r = 0 to (t * t / 256) - 1 do
+      let i = (ctx.by * t) + (ctx.ty + (r * (256 / t))) in
+      let j = (ctx.bx * t) + ctx.tx in
+      Simt.alu 4;
+      let v = Simt.gload inp (wi (L.Group_by.apply_ints li [ i; j ])) in
+      (* The transposed view's offset for the same (i, j) — strided. *)
+      Simt.gstore out (wo (L.Group_by.apply_ints lo [ i; j ])) v
+    done
+  in
+  let report =
+    Simt.run ~device ~sample_blocks
+      ~grid:(cfg.n / t, cfg.m / t)
+      ~block:(t, 256 / t) ~smem_words:0 kern
+  in
+  finish cfg [ report ]
+
+let smem_view cfg layout =
+  let t = cfg.tile in
+  match layout with
+  | Unpadded ->
+    ((fun i j -> (i * t) + j), t * t)
+  | Padded ->
+    ((fun i j -> (i * (t + 1)) + j), t * (t + 1))
+  | Swizzled ->
+    let piece = L.Gallery.xor_swizzle ~rows:t ~cols:t in
+    ((fun i j -> L.Piece.apply_ints piece [ i; j ]), t * t)
+
+let run_shared ?(device = Device.a100) ?(sample_blocks = 4)
+    ?(smem_layout = Swizzled) cfg =
+  check cfg;
+  let inp, wi = Mem.create_arena ~label:"in" Mem.F32 (cfg.m * cfg.n) ~cap:arena_cap in
+  let out, wo = Mem.create_arena ~label:"out" Mem.F32 (cfg.m * cfg.n) ~cap:arena_cap in
+  let li = in_layout cfg and lo = out_layout cfg in
+  let t = cfg.tile in
+  let saddr, swords = smem_view cfg smem_layout in
+  let rows_per_iter = 256 / t in
+  let kern (ctx : Simt.ctx) =
+    (* Stage the tile: coalesced reads, shared stores (possibly
+       conflicting, depending on the shared layout)... *)
+    for r = 0 to (t / rows_per_iter) - 1 do
+      let ti = ctx.ty + (r * rows_per_iter) in
+      let i = (ctx.by * t) + ti and j = (ctx.bx * t) + ctx.tx in
+      Simt.alu 4;
+      let v = Simt.gload inp (wi (L.Group_by.apply_ints li [ i; j ])) in
+      Simt.sstore (saddr ti ctx.tx) v
+    done;
+    Simt.sync ();
+    (* ...then write the transposed tile with coalesced global stores;
+       the shared reads walk a column of the tile. *)
+    for r = 0 to (t / rows_per_iter) - 1 do
+      let tj = ctx.ty + (r * rows_per_iter) in
+      let oi = (ctx.bx * t) + tj and oj = (ctx.by * t) + ctx.tx in
+      Simt.alu 4;
+      let v = Simt.sload (saddr ctx.tx tj) in
+      (* Element (i, j) = (oj, oi) of the input lands at out[oi][oj]. *)
+      Simt.gstore out (wo (L.Group_by.apply_ints lo [ oj; oi ])) v
+    done
+  in
+  let report =
+    Simt.run ~device ~sample_blocks
+      ~grid:(cfg.n / t, cfg.m / t)
+      ~block:(t, rows_per_iter) ~smem_words:swords kern
+  in
+  finish cfg [ report ]
+
+let check_numerics ?(smem_layout = Swizzled) cfg =
+  check cfg;
+  let cfg = { cfg with compute_values = true } in
+  let inp = Mem.init ~label:"in" Mem.F32 (cfg.m * cfg.n) (fun i -> float_of_int i) in
+  let out = Mem.create ~label:"out" Mem.F32 (cfg.m * cfg.n) in
+  let li = in_layout cfg and lo = out_layout cfg in
+  let t = cfg.tile in
+  let saddr, swords = smem_view cfg smem_layout in
+  let rows_per_iter = 256 / t in
+  let kern (ctx : Simt.ctx) =
+    for r = 0 to (t / rows_per_iter) - 1 do
+      let ti = ctx.ty + (r * rows_per_iter) in
+      let i = (ctx.by * t) + ti and j = (ctx.bx * t) + ctx.tx in
+      let v = Simt.gload inp (L.Group_by.apply_ints li [ i; j ]) in
+      Simt.sstore (saddr ti ctx.tx) v
+    done;
+    Simt.sync ();
+    for r = 0 to (t / rows_per_iter) - 1 do
+      let tj = ctx.ty + (r * rows_per_iter) in
+      let oi = (ctx.bx * t) + tj and oj = (ctx.by * t) + ctx.tx in
+      let v = Simt.sload (saddr ctx.tx tj) in
+      Simt.gstore out (L.Group_by.apply_ints lo [ oj; oi ]) v
+    done
+  in
+  let _ =
+    Simt.run ~grid:(cfg.n / t, cfg.m / t) ~block:(t, rows_per_iter)
+      ~smem_words:swords kern
+  in
+  (* Same logical (i, j), two views: the output under the column-major
+     view must equal the input under the row-major view. *)
+  let worst = ref 0.0 in
+  for i = 0 to cfg.m - 1 do
+    for j = 0 to cfg.n - 1 do
+      let got = Mem.get out (L.Group_by.apply_ints lo [ i; j ]) in
+      let expect = Mem.get inp (L.Group_by.apply_ints li [ i; j ]) in
+      worst := Float.max !worst (Float.abs (got -. expect))
+    done
+  done;
+  if !worst = 0.0 then Ok ()
+  else Error (Printf.sprintf "transpose: max |err| = %g" !worst)

@@ -1,0 +1,40 @@
+(** 2-D matrix transpose (figure 13 of the paper).
+
+    The paper compares MLIR-generated GPU code against the NVIDIA SDK
+    CUDA kernels, in shared-memory and non-shared variants; both pairs
+    perform equivalently, the interesting gap being naive (uncoalesced
+    writes) versus shared-tile (both sides coalesced).  The shared tile's
+    bank behaviour is itself a LEGO layout choice: unpadded row-major
+    conflicts, an XOR-swizzled layout (from {!Lego_layout.Gallery}) does
+    not. *)
+
+type smem_layout = Unpadded | Padded | Swizzled
+
+type config = {
+  m : int;
+  n : int;
+  tile : int;  (** square tile edge, default 32 *)
+  compute_values : bool;
+}
+
+val default_config : ?tile:int -> int -> config
+
+type result = {
+  time_s : float;
+  gbps : float;
+  reports : Lego_gpusim.Simt.report list;
+}
+
+val run_naive :
+  ?device:Lego_gpusim.Device.t -> ?sample_blocks:int -> config -> result
+(** Direct [out[j][i] = in[i][j]]: reads coalesce, writes do not. *)
+
+val run_shared :
+  ?device:Lego_gpusim.Device.t ->
+  ?sample_blocks:int ->
+  ?smem_layout:smem_layout ->
+  config ->
+  result
+(** Tile staged through shared memory; both global accesses coalesce. *)
+
+val check_numerics : ?smem_layout:smem_layout -> config -> (unit, string) Stdlib.result

@@ -1,0 +1,1 @@
+lib/codegen/c_printer.ml: Lego_symbolic List Printf String

@@ -1,0 +1,1 @@
+lib/codegen/c_printer.mli: Lego_symbolic

@@ -1,0 +1,1 @@
+lib/codegen/cse.ml: Format Hashtbl Lego_layout Lego_symbolic List Printf

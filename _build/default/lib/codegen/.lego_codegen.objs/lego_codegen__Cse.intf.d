@@ -1,0 +1,1 @@
+lib/codegen/cse.mli: Format Lego_symbolic

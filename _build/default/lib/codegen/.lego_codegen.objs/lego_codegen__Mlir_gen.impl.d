@@ -1,0 +1,1 @@
+lib/codegen/mlir_gen.ml: Buffer Cse Hashtbl Lego_layout Lego_symbolic List Printf String

@@ -1,0 +1,1 @@
+lib/codegen/mlir_gen.mli: Lego_layout Lego_symbolic

@@ -1,0 +1,1 @@
+lib/codegen/template.ml: List Printf Str String

@@ -1,0 +1,1 @@
+lib/codegen/triton_printer.ml: Fun Lego_layout Lego_symbolic List Printf Str String

@@ -1,0 +1,1 @@
+lib/codegen/triton_printer.mli: Lego_layout Lego_symbolic

@@ -1,0 +1,102 @@
+module E = Lego_symbolic.Expr
+
+type atom = Avar of string | Aconst of int
+
+type opcode =
+  | Add
+  | Mul
+  | Divf
+  | Rem
+  | CmpLe
+  | CmpLt
+  | CmpEq
+  | Sel
+  | Isqrt
+
+type instr = { dst : string; op : opcode; args : atom list }
+
+let opcode_name = function
+  | Add -> "add"
+  | Mul -> "mul"
+  | Divf -> "divf"
+  | Rem -> "rem"
+  | CmpLe -> "cmple"
+  | CmpLt -> "cmplt"
+  | CmpEq -> "cmpeq"
+  | Sel -> "select"
+  | Isqrt -> "isqrt"
+
+let lower ?(prefix = "t") roots =
+  let table : (opcode * atom list, atom) Hashtbl.t = Hashtbl.create 64 in
+  let instrs = ref [] in
+  let counter = ref 0 in
+  let emit op args =
+    match Hashtbl.find_opt table (op, args) with
+    | Some atom -> atom
+    | None ->
+      let dst = Printf.sprintf "%s%d" prefix !counter in
+      incr counter;
+      instrs := { dst; op; args } :: !instrs;
+      let atom = Avar dst in
+      Hashtbl.add table (op, args) atom;
+      atom
+  in
+  let rec chain op = function
+    | [] -> invalid_arg "Cse.lower: empty n-ary node"
+    | [ a ] -> a
+    | a :: b :: rest -> chain op (emit op [ a; b ] :: rest)
+  in
+  let rec go (e : E.t) : atom =
+    match e with
+    | Const n -> Aconst n
+    | Var v -> Avar v
+    | Add xs -> chain Add (List.map go xs)
+    | Mul xs -> chain Mul (List.map go xs)
+    | Div (a, b) -> emit Divf [ go a; go b ]
+    | Mod (a, b) -> emit Rem [ go a; go b ]
+    | Le (a, b) -> emit CmpLe [ go a; go b ]
+    | Lt (a, b) -> emit CmpLt [ go a; go b ]
+    | Eq (a, b) -> emit CmpEq [ go a; go b ]
+    | Select (c, a, b) -> emit Sel [ go c; go a; go b ]
+    | Isqrt a -> emit Isqrt [ go a ]
+  in
+  let results = List.map go roots in
+  (List.rev !instrs, results)
+
+let eval ~env instrs roots =
+  let values = Hashtbl.create 64 in
+  let atom = function
+    | Aconst n -> n
+    | Avar v -> (
+      match Hashtbl.find_opt values v with Some n -> n | None -> env v)
+  in
+  List.iter
+    (fun { dst; op; args } ->
+      let a = List.map atom args in
+      let v =
+        match (op, a) with
+        | Add, [ x; y ] -> x + y
+        | Mul, [ x; y ] -> x * y
+        | Divf, [ x; y ] -> Lego_layout.Domain.floor_div x y
+        | Rem, [ x; y ] -> Lego_layout.Domain.floor_rem x y
+        | CmpLe, [ x; y ] -> if x <= y then 1 else 0
+        | CmpLt, [ x; y ] -> if x < y then 1 else 0
+        | CmpEq, [ x; y ] -> if x = y then 1 else 0
+        | Sel, [ c; x; y ] -> if c <> 0 then x else y
+        | Isqrt, [ x ] -> Lego_layout.Domain.int_isqrt x
+        | _ -> invalid_arg "Cse.eval: arity mismatch"
+      in
+      Hashtbl.replace values dst v)
+    instrs;
+  List.map atom roots
+
+let pp_atom ppf = function
+  | Avar v -> Format.fprintf ppf "%%%s" v
+  | Aconst n -> Format.pp_print_int ppf n
+
+let pp_instr ppf { dst; op; args } =
+  Format.fprintf ppf "%%%s = %s %a" dst (opcode_name op)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_atom)
+    args

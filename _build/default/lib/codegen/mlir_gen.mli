@@ -1,0 +1,32 @@
+(** MLIR emission (section 4.2 of the paper).
+
+    Index expressions lower (through {!Cse}) to [arith]-dialect SSA over
+    [index] values, packaged as [func.func]s; integer square root emits
+    the one-op custom dialect [lego.isqrt], mirroring the paper's remark
+    that user dialects can build on the layout algebra.  Whole data
+    movements (e.g. the figure-13 transpose) emit [scf.for] loops over
+    [memref]s.  Everything emitted here round-trips through
+    {!Lego_mlirsim}. *)
+
+val index_func :
+  name:string -> params:string list -> Lego_symbolic.Expr.t list -> string
+(** A module with one function from the given index parameters to one
+    result per expression. *)
+
+val layout_apply_func :
+  name:string -> Lego_layout.Group_by.t -> string
+(** [index_func] for a layout's simplified symbolic [apply] (parameters
+    [i0 ... i(d-1)]). *)
+
+val layout_inv_func : name:string -> Lego_layout.Group_by.t -> string
+(** The inverse mapping: one flat parameter [p], d results. *)
+
+val copy_func :
+  name:string ->
+  src_offset:Lego_symbolic.Expr.t ->
+  dst_offset:Lego_symbolic.Expr.t ->
+  dims:int list ->
+  string
+(** A nest of [scf.for] loops over logical indices [i0..], copying
+    [dst[dst_offset] := src[src_offset]] between two 1-D memrefs — the
+    layout-change data movement of the paper's transpose example. *)

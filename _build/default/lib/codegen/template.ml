@@ -1,0 +1,37 @@
+let marker_re = Str.regexp "{{ *\\([A-Za-z_][A-Za-z0-9_]*\\) *}}"
+
+let placeholders tpl =
+  let rec go acc pos =
+    match Str.search_forward marker_re tpl pos with
+    | exception Not_found -> List.rev acc
+    | start ->
+      let name = Str.matched_group 1 tpl in
+      let acc = if List.mem name acc then acc else name :: acc in
+      go acc (start + String.length (Str.matched_string tpl))
+  in
+  go [] 0
+
+let render ~bindings tpl =
+  let missing = ref [] in
+  let result =
+    Str.global_substitute marker_re
+      (fun whole ->
+        let name = Str.matched_group 1 whole in
+        match List.assoc_opt name bindings with
+        | Some value -> value
+        | None ->
+          if not (List.mem name !missing) then missing := name :: !missing;
+          "")
+      tpl
+  in
+  match !missing with
+  | [] -> Ok result
+  | names ->
+    Error
+      (Printf.sprintf "template: unbound placeholders: %s"
+         (String.concat ", " (List.rev names)))
+
+let render_exn ~bindings tpl =
+  match render ~bindings tpl with
+  | Ok s -> s
+  | Error msg -> invalid_arg msg

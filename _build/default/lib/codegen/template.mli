@@ -1,0 +1,16 @@
+(** Minimal Jinja-style template instantiation (section 4.1 of the paper).
+
+    Kernel templates contain [{{ placeholder }}] markers; LEGO replaces
+    each with a generated index expression.  Unknown placeholders are an
+    error (catching template/layout drift), unused bindings are
+    reported. *)
+
+val placeholders : string -> string list
+(** Placeholder names appearing in the template, in order, deduplicated. *)
+
+val render :
+  bindings:(string * string) list -> string -> (string, string) result
+(** Substitute every [{{ name }}]; [Error] describes missing bindings. *)
+
+val render_exn : bindings:(string * string) list -> string -> string
+(** Like {!render}; raises [Invalid_argument] with the same message. *)

@@ -1,0 +1,139 @@
+module E = Lego_symbolic.Expr
+module R = Lego_symbolic.Range
+module L = Lego_layout
+
+type index = Fix of E.t | All
+
+let arange_var k = Printf.sprintf "__arange%d" k
+
+let rec pr prec (e : E.t) =
+  let paren p s = if prec > p then "(" ^ s ^ ")" else s in
+  match e with
+  | Const n -> if n < 0 then paren 10 (string_of_int n) else string_of_int n
+  | Var v -> v
+  | Add xs ->
+    paren 4
+      (String.concat ""
+         (List.mapi
+            (fun k x ->
+              if k = 0 then pr 4 x
+              else
+                match E.as_linear_term x with
+                | c, fs when c < 0 -> " - " ^ pr 5 (E.of_linear_term (-c, fs))
+                | _ -> " + " ^ pr 5 x)
+            xs))
+  | Mul xs -> paren 5 (String.concat " * " (List.map (pr 6) xs))
+  | Div (a, b) -> paren 5 (pr 5 a ^ " // " ^ pr 6 b)
+  | Mod (a, b) -> paren 5 (pr 5 a ^ " % " ^ pr 6 b)
+  | Select (c, a, b) ->
+    paren 1 ("tl.where(" ^ pr 0 c ^ ", " ^ pr 0 a ^ ", " ^ pr 0 b ^ ")")
+  | Le (a, b) -> paren 3 (pr 4 a ^ " <= " ^ pr 4 b)
+  | Lt (a, b) -> paren 3 (pr 4 a ^ " < " ^ pr 4 b)
+  | Eq (a, b) -> paren 3 (pr 4 a ^ " == " ^ pr 4 b)
+  | Isqrt a -> "tl.sqrt(" ^ pr 0 a ^ ").to(tl.int32)"
+
+let expr e = pr 0 e
+
+(* Assign arange variables to the [`All] positions, mirroring
+   [slice_offset]'s numbering, and return the per-position component
+   expressions plus the (var, extent) slice bindings in order. *)
+let components_of indices dims =
+  let slice_count = ref 0 in
+  let components, slice_info =
+    List.fold_left2
+      (fun (components, info) index extent ->
+        match index with
+        | Fix e -> (e :: components, info)
+        | All ->
+          let k = !slice_count in
+          incr slice_count;
+          let v = arange_var k in
+          (E.var v :: components, (v, extent) :: info))
+      ([], []) indices dims
+  in
+  (List.rev components, List.rev slice_info)
+
+let broadcast ~nslices k =
+  if nslices = 1 then "" else if k = 0 then "[:, None]" else "[None, :]"
+
+let render_with_aranges ~slice_info text =
+  let nslices = List.length slice_info in
+  List.fold_left
+    (fun text (k, (v, extent)) ->
+      Str.global_replace (Str.regexp_string v)
+        (Printf.sprintf "tl.arange(0, %d)%s" extent (broadcast ~nslices k))
+        text)
+    text
+    (List.mapi (fun k b -> (k, b)) slice_info)
+
+let slice_mask ?(env = R.empty_env) ~group ~extents indices =
+  let dims = List.concat group in
+  if List.length indices <> List.length dims then
+    invalid_arg "Triton_printer.slice_mask: index rank mismatch";
+  let d = List.length extents in
+  List.iter
+    (fun level ->
+      if List.length level <> d then
+        invalid_arg "Triton_printer.slice_mask: level rank mismatch")
+    group;
+  let components, slice_info = components_of indices dims in
+  if List.length slice_info > 2 then
+    invalid_arg
+      "Triton_printer.slice_mask: at most two sliced dimensions supported";
+  let env =
+    List.fold_left
+      (fun env (v, extent) -> R.env_add v (R.of_extent extent) env)
+      env slice_info
+  in
+  let q = List.length group in
+  (* Global coordinate of dimension k: the canonical flattening of its
+     per-level components. *)
+  let coord k =
+    let level_extents = List.map (fun level -> List.nth level k) group in
+    let level_components =
+      List.init q (fun h -> List.nth components ((h * d) + k))
+    in
+    Lego_layout.Shape.flatten
+      (module Lego_symbolic.Sym.Dom)
+      level_extents level_components
+  in
+  let terms =
+    List.filteri
+      (fun k _ ->
+        let padded_extent =
+          List.fold_left (fun acc level -> acc * List.nth level k) 1 group
+        in
+        padded_extent > List.nth extents k)
+      (List.init d Fun.id)
+    |> List.map (fun k ->
+           let guard =
+             Lego_symbolic.Simplify.simplify ~env
+               (E.lt (coord k) (E.const (List.nth extents k)))
+           in
+           "(" ^ pr 0 guard ^ ")")
+  in
+  match terms with
+  | [] -> None
+  | terms ->
+    Some (render_with_aranges ~slice_info (String.concat " & " terms))
+
+let slice_offset ?(simplify = true) ?(env = R.empty_env) layout indices =
+  let dims = L.Group_by.dims layout in
+  if List.length indices <> List.length dims then
+    invalid_arg "Triton_printer.slice_offset: index rank mismatch";
+  let components, slice_info = components_of indices dims in
+  if List.length slice_info > 2 then
+    invalid_arg
+      "Triton_printer.slice_offset: at most two sliced dimensions supported";
+  let env =
+    List.fold_left
+      (fun env (v, extent) -> R.env_add v (R.of_extent extent) env)
+      env slice_info
+  in
+  let raw = L.Group_by.apply (module Lego_symbolic.Sym.Dom) layout components in
+  let offset =
+    if simplify then Lego_symbolic.Simplify.simplify ~env raw else raw
+  in
+  (* Synthetic names are unique words; plain textual substitution is safe
+     because they cannot occur in user variables. *)
+  render_with_aranges ~slice_info (expr offset)

@@ -1,0 +1,1 @@
+lib/gpusim/mem.ml: Array Float Fun Random

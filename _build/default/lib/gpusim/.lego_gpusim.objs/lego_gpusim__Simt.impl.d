@@ -1,0 +1,1 @@
+lib/gpusim/simt.ml: Array Device Effect Fun Hashtbl Int List Mem Option Printf Set

@@ -1,0 +1,1 @@
+lib/gpusim/simt.mli: Device Mem

@@ -1,0 +1,46 @@
+type t = {
+  name : string;
+  num_sms : int;
+  warp_size : int;
+  clock_ghz : float;
+  dram_bw_gbps : float;
+  smem_banks : int;
+  smem_bank_bytes : int;
+  global_txn_bytes : int;
+  fp32_tflops : float;
+  fp16_tflops : float;
+  tensor_fp16_tflops : float;
+  tensor_fp8_tflops : float;
+  issue_per_sm_per_cycle : int;
+  kernel_launch_us : float;
+  max_threads_per_block : int;
+}
+
+let a100 =
+  {
+    name = "A100-80GB (simulated)";
+    num_sms = 108;
+    warp_size = 32;
+    clock_ghz = 1.41;
+    dram_bw_gbps = 1935.0;
+    smem_banks = 32;
+    smem_bank_bytes = 4;
+    global_txn_bytes = 32;
+    fp32_tflops = 19.5;
+    fp16_tflops = 78.0;
+    tensor_fp16_tflops = 312.0;
+    tensor_fp8_tflops = 624.0;
+    issue_per_sm_per_cycle = 4;
+    kernel_launch_us = 3.0;
+    max_threads_per_block = 1024;
+  }
+
+let scale d f =
+  {
+    d with
+    dram_bw_gbps = d.dram_bw_gbps *. f;
+    fp32_tflops = d.fp32_tflops *. f;
+    fp16_tflops = d.fp16_tflops *. f;
+    tensor_fp16_tflops = d.tensor_fp16_tflops *. f;
+    tensor_fp8_tflops = d.tensor_fp8_tflops *. f;
+  }

@@ -1,0 +1,33 @@
+(** GPU device models for the simulator.
+
+    The paper's evaluation machine is an NVIDIA A100-80GB; {!a100}
+    reproduces its headline rates.  Only ratios matter for the
+    reproduction (the paper's claims are relative), but realistic
+    constants keep the reported GFLOP/s and GB/s in familiar
+    territory. *)
+
+type t = {
+  name : string;
+  num_sms : int;
+  warp_size : int;
+  clock_ghz : float;
+  dram_bw_gbps : float;  (** achievable global-memory bandwidth, GB/s *)
+  smem_banks : int;
+  smem_bank_bytes : int;
+  global_txn_bytes : int;  (** global-memory transaction granularity *)
+  fp32_tflops : float;
+  fp16_tflops : float;  (** CUDA-core half rate *)
+  tensor_fp16_tflops : float;
+  tensor_fp8_tflops : float;
+      (** A100 tensor cores do not speed FP8 beyond FP16; the paper's FP8
+          benchmark exercises INT8/FP8-rate paths, modeled at 2x FP16. *)
+  issue_per_sm_per_cycle : int;  (** warp instructions per SM per cycle *)
+  kernel_launch_us : float;
+  max_threads_per_block : int;
+}
+
+val a100 : t
+
+val scale : t -> float -> t
+(** [scale d f] multiplies every throughput of [d] by [f] (for
+    what-if/ablation experiments). *)

@@ -1,0 +1,47 @@
+type dtype = F8 | F16 | F32 | I32
+
+let dtype_bytes = function F8 -> 1 | F16 -> 2 | F32 -> 4 | I32 -> 4
+let dtype_name = function F8 -> "fp8" | F16 -> "fp16" | F32 -> "fp32" | I32 -> "i32"
+
+type buffer = { id : int; label : string; dtype : dtype; data : float array }
+
+let next_id = ref 0
+
+let create ?(label = "buf") dtype n =
+  incr next_id;
+  { id = !next_id; label; dtype; data = Array.make n 0.0 }
+
+let of_array ?(label = "buf") dtype data =
+  incr next_id;
+  { id = !next_id; label; dtype; data = Array.copy data }
+
+let init ?(label = "buf") dtype n f =
+  incr next_id;
+  { id = !next_id; label; dtype; data = Array.init n f }
+
+let length b = Array.length b.data
+let get b i = b.data.(i)
+let set b i v = b.data.(i) <- v
+let to_array b = Array.copy b.data
+
+let fill_random ?(seed = 42) b =
+  let state = Random.State.make [| seed; b.id |] in
+  Array.iteri
+    (fun i _ -> b.data.(i) <- (Random.State.float state 2.0) -. 1.0)
+    b.data
+
+let create_arena ?label dtype requested ~cap =
+  if cap <= 0 then invalid_arg "Mem.create_arena: cap must be positive";
+  if requested <= cap then (create ?label dtype requested, Fun.id)
+  else
+    let buf = create ?label dtype cap in
+    (buf, fun addr -> addr mod cap)
+
+let max_abs_diff b expected =
+  if Array.length expected <> Array.length b.data then
+    invalid_arg "Mem.max_abs_diff: length mismatch";
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i v -> worst := Float.max !worst (Float.abs (v -. expected.(i))))
+    b.data;
+  !worst

@@ -1,0 +1,32 @@
+(** Roofline time model turning simulator counters into kernel times.
+
+    A kernel's time is the launch overhead plus the maximum of its
+    compute-, memory-, shared-memory- and issue-limited times — the
+    standard roofline approximation.  Small grids scale throughput by SM
+    occupancy, which is what makes per-GEMM launches lose to grouped
+    launches in the paper's figure 12c. *)
+
+type breakdown = {
+  launch_s : float;
+  compute_s : float;
+  dram_s : float;
+  smem_s : float;
+  issue_s : float;
+  total_s : float;
+}
+
+val breakdown : Simt.report -> breakdown
+
+val time_s : Simt.report -> float
+(** [breakdown.total_s]. *)
+
+val sum_times_s : Simt.report list -> float
+(** Serialized launches: the sum of per-launch times. *)
+
+val gflops : useful_flops:float -> float -> float
+(** [gflops ~useful_flops time_s]: throughput in GFLOP/s based on the
+    algorithmic (not simulated) operation count, as the paper plots. *)
+
+val gbps : useful_bytes:float -> float -> float
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

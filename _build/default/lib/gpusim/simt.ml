@@ -1,0 +1,348 @@
+open Effect
+open Effect.Deep
+
+type ctx = {
+  bx : int;
+  by : int;
+  tx : int;
+  ty : int;
+  bdx : int;
+  bdy : int;
+  gdx : int;
+  gdy : int;
+}
+
+let linear_tid ctx = (ctx.ty * ctx.bdx) + ctx.tx
+
+type _ Effect.t +=
+  | E_gload : Mem.buffer * int -> float Effect.t
+  | E_gstore : Mem.buffer * int * float -> unit Effect.t
+  | E_sload : int -> float Effect.t
+  | E_sstore : int * float -> unit Effect.t
+  | E_sync : unit Effect.t
+  | E_flops : Mem.dtype * bool * int -> unit Effect.t
+  | E_alu : int -> unit Effect.t
+
+let gload buf i = perform (E_gload (buf, i))
+let gstore buf i v = perform (E_gstore (buf, i, v))
+let sload i = perform (E_sload i)
+let sstore i v = perform (E_sstore (i, v))
+let sync () = perform E_sync
+let flops ?(tensor = false) dt n = perform (E_flops (dt, tensor, n))
+let alu n = if n > 0 then perform (E_alu n)
+
+type counters = {
+  mutable insn_warp : float;
+  mutable g_txns : float;
+  mutable g_bytes : float;
+  mutable s_accesses : float;
+  mutable s_cycles : float;
+  mutable flops_fp32 : float;
+  mutable flops_fp16 : float;
+  mutable flops_fp8 : float;
+  mutable flops_tensor_fp16 : float;
+  mutable flops_tensor_fp8 : float;
+  mutable syncs : float;
+}
+
+let fresh_counters () =
+  {
+    insn_warp = 0.0;
+    g_txns = 0.0;
+    g_bytes = 0.0;
+    s_accesses = 0.0;
+    s_cycles = 0.0;
+    flops_fp32 = 0.0;
+    flops_fp16 = 0.0;
+    flops_fp8 = 0.0;
+    flops_tensor_fp16 = 0.0;
+    flops_tensor_fp8 = 0.0;
+    syncs = 0.0;
+  }
+
+type report = {
+  device : Device.t;
+  grid : int * int;
+  block : int * int;
+  blocks_simulated : int;
+  launches : int;
+  counters : counters;
+}
+
+(* A fiber parked on its next device operation. *)
+type parked =
+  | P_gload of Mem.buffer * int * (float, unit) continuation
+  | P_gstore of Mem.buffer * int * float * (unit, unit) continuation
+  | P_sload of int * (float, unit) continuation
+  | P_sstore of int * float * (unit, unit) continuation
+  | P_sync of (unit, unit) continuation
+  | P_flops of Mem.dtype * bool * int * (unit, unit) continuation
+  | P_alu of int * (unit, unit) continuation
+
+let is_sync = function P_sync _ -> true | _ -> false
+
+module Seg = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+module IntSet = Set.Make (Int)
+
+(* Cost a warp's batch of global accesses: one transaction per distinct
+   (buffer, segment) pair. *)
+let cost_global device c accesses =
+  let segs =
+    List.fold_left
+      (fun acc (buf, addr) ->
+        let bytes = Mem.dtype_bytes buf.Mem.dtype in
+        Seg.add (buf.Mem.id, addr * bytes / device.Device.global_txn_bytes) acc)
+      Seg.empty accesses
+  in
+  let n = Seg.cardinal segs in
+  c.g_txns <- c.g_txns +. float_of_int n;
+  c.g_bytes <- c.g_bytes +. float_of_int (n * device.Device.global_txn_bytes);
+  c.insn_warp <- c.insn_warp +. 1.0
+
+(* Cost a warp's batch of shared accesses: the bank-conflict degree is the
+   largest number of distinct addresses hitting one bank. *)
+let cost_shared device c addrs =
+  let banks = Hashtbl.create 8 in
+  List.iter
+    (fun addr ->
+      let bank = addr mod device.Device.smem_banks in
+      let set =
+        Option.value ~default:IntSet.empty (Hashtbl.find_opt banks bank)
+      in
+      Hashtbl.replace banks bank (IntSet.add addr set))
+    addrs;
+  let degree =
+    Hashtbl.fold (fun _ set acc -> max acc (IntSet.cardinal set)) banks 0
+  in
+  c.s_accesses <- c.s_accesses +. float_of_int (List.length addrs);
+  c.s_cycles <- c.s_cycles +. float_of_int (max degree 1);
+  c.insn_warp <- c.insn_warp +. 1.0
+
+let record_flops c dt tensor n warp_count =
+  let fl = float_of_int (n * warp_count) in
+  (match (dt, tensor) with
+  | Mem.F32, _ | Mem.I32, _ -> c.flops_fp32 <- c.flops_fp32 +. fl
+  | Mem.F16, false -> c.flops_fp16 <- c.flops_fp16 +. fl
+  | Mem.F16, true -> c.flops_tensor_fp16 <- c.flops_tensor_fp16 +. fl
+  | Mem.F8, false -> c.flops_fp8 <- c.flops_fp8 +. fl
+  | Mem.F8, true -> c.flops_tensor_fp8 <- c.flops_tensor_fp8 +. fl);
+  c.insn_warp <- c.insn_warp +. 1.0
+
+let run_block ~device ~counters ~block:(bdx, bdy) ~grid:(gdx, gdy) ~smem_words
+    ~bx ~by body =
+  let nthreads = bdx * bdy in
+  let smem = Array.make smem_words 0.0 in
+  let slots : parked option array = Array.make nthreads None in
+  let cur = ref 0 in
+  let remaining = ref nthreads in
+  let handler : (unit, unit) handler =
+    {
+      retc = (fun () -> decr remaining);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_gload (b, i) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                slots.(!cur) <- Some (P_gload (b, i, k)))
+          | E_gstore (b, i, v) ->
+            Some (fun k -> slots.(!cur) <- Some (P_gstore (b, i, v, k)))
+          | E_sload i -> Some (fun k -> slots.(!cur) <- Some (P_sload (i, k)))
+          | E_sstore (i, v) ->
+            Some (fun k -> slots.(!cur) <- Some (P_sstore (i, v, k)))
+          | E_sync -> Some (fun k -> slots.(!cur) <- Some (P_sync k))
+          | E_flops (dt, tensor, n) ->
+            Some (fun k -> slots.(!cur) <- Some (P_flops (dt, tensor, n, k)))
+          | E_alu n -> Some (fun k -> slots.(!cur) <- Some (P_alu (n, k)))
+          | _ -> None);
+    }
+  in
+  (* Launch every thread fiber; each runs to its first device op. *)
+  for ty = 0 to bdy - 1 do
+    for tx = 0 to bdx - 1 do
+      let ctx = { bx; by; tx; ty; bdx; bdy; gdx; gdy } in
+      cur := linear_tid ctx;
+      match_with body ctx handler
+    done
+  done;
+  let resume_unit tid (k : (unit, unit) continuation) =
+    cur := tid;
+    continue k ()
+  in
+  let resume_float tid (k : (float, unit) continuation) v =
+    cur := tid;
+    continue k v
+  in
+  let warp_of tid = tid / device.Device.warp_size in
+  let guard_shared addr =
+    if addr < 0 || addr >= smem_words then
+      invalid_arg
+        (Printf.sprintf "Simt: shared access %d outside 0..%d" addr
+           (smem_words - 1))
+  in
+  let guard_global (b : Mem.buffer) addr =
+    if addr < 0 || addr >= Array.length b.Mem.data then
+      invalid_arg
+        (Printf.sprintf "Simt: buffer %S access %d outside 0..%d" b.Mem.label
+           addr
+           (Array.length b.Mem.data - 1))
+  in
+  (* Lock-step rounds. *)
+  while !remaining > 0 do
+    let round =
+      Array.to_list
+        (Array.mapi (fun tid op -> Option.map (fun op -> (tid, op)) op) slots)
+      |> List.filter_map Fun.id
+    in
+    if round = [] then
+      (* All fibers finished between rounds. *)
+      ()
+    else begin
+      let nonsync = List.filter (fun (_, op) -> not (is_sync op)) round in
+      let ready = if nonsync = [] then round else nonsync in
+      (* Clear the processed slots before resuming (fibers re-park). *)
+      List.iter (fun (tid, _) -> slots.(tid) <- None) ready;
+      (* Group by warp to account for coalescing and bank conflicts. *)
+      let by_warp = Hashtbl.create 8 in
+      List.iter
+        (fun (tid, op) ->
+          let w = warp_of tid in
+          Hashtbl.replace by_warp w
+            ((tid, op)
+            :: Option.value ~default:[] (Hashtbl.find_opt by_warp w)))
+        ready;
+      Hashtbl.iter
+        (fun _w ops ->
+          let gloads =
+            List.filter_map
+              (function _, P_gload (b, i, _) -> Some (b, i) | _ -> None)
+              ops
+          and gstores =
+            List.filter_map
+              (function _, P_gstore (b, i, _, _) -> Some (b, i) | _ -> None)
+              ops
+          and sloads =
+            List.filter_map
+              (function _, P_sload (i, _) -> Some i | _ -> None)
+              ops
+          and sstores =
+            List.filter_map
+              (function _, P_sstore (i, _, _) -> Some i | _ -> None)
+              ops
+          in
+          if gloads <> [] then cost_global device counters gloads;
+          if gstores <> [] then cost_global device counters gstores;
+          if sloads <> [] then cost_shared device counters sloads;
+          if sstores <> [] then cost_shared device counters sstores;
+          (* flops / alu / sync of the warp this round *)
+          let flop_groups = Hashtbl.create 4 in
+          let alu_max = ref 0 in
+          let sync_count = ref 0 in
+          List.iter
+            (fun (_, op) ->
+              match op with
+              | P_flops (dt, tensor, n, _) ->
+                let key = (dt, tensor) in
+                Hashtbl.replace flop_groups key
+                  (n
+                  + Option.value ~default:0 (Hashtbl.find_opt flop_groups key))
+              | P_alu (n, _) ->
+                (* Lock-stepped threads execute the same scalar ops, so a
+                   warp's integer work this round is the widest thread's
+                   count of warp instructions, not the sum. *)
+                alu_max := max !alu_max n
+              | P_sync _ -> incr sync_count
+              | P_gload _ | P_gstore _ | P_sload _ | P_sstore _ -> ())
+            ops;
+          Hashtbl.iter
+            (fun (dt, tensor) n -> record_flops counters dt tensor n 1)
+            flop_groups;
+          if !alu_max > 0 then
+            counters.insn_warp <- counters.insn_warp +. float_of_int !alu_max;
+          if !sync_count > 0 then begin
+            counters.syncs <- counters.syncs +. 1.0;
+            counters.insn_warp <- counters.insn_warp +. 1.0
+          end)
+        by_warp;
+      (* Execute stores before loads for deterministic same-round access. *)
+      List.iter
+        (fun (_, op) ->
+          match op with
+          | P_gstore (b, i, v, _) ->
+            guard_global b i;
+            b.Mem.data.(i) <- v
+          | P_sstore (i, v, _) ->
+            guard_shared i;
+            smem.(i) <- v
+          | _ -> ())
+        ready;
+      List.iter
+        (fun (tid, op) ->
+          match op with
+          | P_gload (b, i, k) ->
+            guard_global b i;
+            resume_float tid k b.Mem.data.(i)
+          | P_sload (i, k) ->
+            guard_shared i;
+            resume_float tid k smem.(i)
+          | P_gstore (_, _, _, k)
+          | P_sstore (_, _, k)
+          | P_sync k
+          | P_flops (_, _, _, k)
+          | P_alu (_, k) ->
+            resume_unit tid k)
+        ready
+    end
+  done
+
+let run ?(device = Device.a100) ?sample_blocks ~grid:(gdx, gdy)
+    ~block:(bdx, bdy) ~smem_words body =
+  if gdx <= 0 || gdy <= 0 then invalid_arg "Simt.run: empty grid";
+  if bdx <= 0 || bdy <= 0 then invalid_arg "Simt.run: empty block";
+  if bdx * bdy > device.Device.max_threads_per_block then
+    invalid_arg "Simt.run: block exceeds device thread limit";
+  let total_blocks = gdx * gdy in
+  let simulated =
+    match sample_blocks with
+    | None -> total_blocks
+    | Some n when n <= 0 -> invalid_arg "Simt.run: sample_blocks must be > 0"
+    | Some n -> min n total_blocks
+  in
+  let counters = fresh_counters () in
+  (* Evenly strided sample across the whole grid. *)
+  let step = total_blocks / simulated in
+  for s = 0 to simulated - 1 do
+    let b = s * step in
+    let bx = b mod gdx and by = b / gdx in
+    run_block ~device ~counters ~block:(bdx, bdy) ~grid:(gdx, gdy) ~smem_words
+      ~bx ~by body
+  done;
+  let scale = float_of_int total_blocks /. float_of_int simulated in
+  if simulated < total_blocks then begin
+    counters.insn_warp <- counters.insn_warp *. scale;
+    counters.g_txns <- counters.g_txns *. scale;
+    counters.g_bytes <- counters.g_bytes *. scale;
+    counters.s_accesses <- counters.s_accesses *. scale;
+    counters.s_cycles <- counters.s_cycles *. scale;
+    counters.flops_fp32 <- counters.flops_fp32 *. scale;
+    counters.flops_fp16 <- counters.flops_fp16 *. scale;
+    counters.flops_fp8 <- counters.flops_fp8 *. scale;
+    counters.flops_tensor_fp16 <- counters.flops_tensor_fp16 *. scale;
+    counters.flops_tensor_fp8 <- counters.flops_tensor_fp8 *. scale;
+    counters.syncs <- counters.syncs *. scale
+  end;
+  {
+    device;
+    grid = (gdx, gdy);
+    block = (bdx, bdy);
+    blocks_simulated = simulated;
+    launches = 1;
+    counters;
+  }
+

@@ -1,0 +1,96 @@
+(** A SIMT GPU simulator.
+
+    Kernels are plain OCaml functions of a thread context.  Every thread
+    of a block runs as a fiber (OCaml 5 effect handlers); fibers advance
+    in lock-step rounds, so the simulator sees, per round and per warp,
+    the set of addresses a warp touches together — exactly the
+    information needed to model global-memory coalescing and
+    shared-memory bank conflicts, the two mechanisms behind the paper's
+    CUDA/MLIR evaluation (figures 13 and 14).
+
+    Cost accounting (see {!Metrics} for the time model):
+    - a warp's global access costs one transaction per distinct
+      [global_txn_bytes] segment touched;
+    - a warp's shared access costs one cycle per maximal bank-conflict
+      degree (same-address broadcast is free);
+    - [flops]/[alu] record arithmetic work;
+    - control rounds cost one issued warp-instruction each.
+
+    Large grids can be sampled: only a representative subset of blocks is
+    executed and the counters are scaled — block interactions do not
+    exist in the model, so the scaling is exact for uniform grids. *)
+
+type ctx = {
+  bx : int;
+  by : int;
+  tx : int;
+  ty : int;
+  bdx : int;
+  bdy : int;
+  gdx : int;
+  gdy : int;
+}
+
+val linear_tid : ctx -> int
+
+(** {2 Device operations (valid only inside a running kernel)} *)
+
+val gload : Mem.buffer -> int -> float
+val gstore : Mem.buffer -> int -> float -> unit
+
+val sload : int -> float
+(** Shared-memory load of a 4-byte word. *)
+
+val sstore : int -> float -> unit
+val sync : unit -> unit
+(** Block-wide barrier. *)
+
+val flops : ?tensor:bool -> Mem.dtype -> int -> unit
+(** Record [n] floating-point operations of the given precision;
+    [tensor:true] uses the tensor-core rate. *)
+
+val alu : int -> unit
+(** Record [n] integer/index-arithmetic operations (one warp instruction
+    each) — kernels pass the {!Lego_symbolic.Cost.ops} count of their
+    index expressions here, tying the paper's cost model to the
+    simulation. *)
+
+(** {2 Running kernels} *)
+
+type counters = {
+  mutable insn_warp : float;
+  mutable g_txns : float;
+  mutable g_bytes : float;
+  mutable s_accesses : float;
+  mutable s_cycles : float;
+  mutable flops_fp32 : float;
+  mutable flops_fp16 : float;
+  mutable flops_fp8 : float;
+  mutable flops_tensor_fp16 : float;
+  mutable flops_tensor_fp8 : float;
+  mutable syncs : float;
+}
+
+type report = {
+  device : Device.t;
+  grid : int * int;
+  block : int * int;
+  blocks_simulated : int;
+  launches : int;
+  counters : counters;
+}
+
+val run :
+  ?device:Device.t ->
+  ?sample_blocks:int ->
+  grid:int * int ->
+  block:int * int ->
+  smem_words:int ->
+  (ctx -> unit) ->
+  report
+(** [run ~grid:(gx, gy) ~block:(bx, by) ~smem_words f] executes [f] for
+    every thread of every (sampled) block and returns the scaled cost
+    report.  Raises [Invalid_argument] for out-of-range shared accesses,
+    out-of-bounds buffer accesses, or block sizes beyond the device
+    limit. *)
+

@@ -1,0 +1,1 @@
+lib/lang/elab.ml: Ast Format Lego_layout List Parser Printf String

@@ -1,0 +1,44 @@
+type perm =
+  | Reg_p of int list * int list
+  | Gen_p of string * int list
+  | Row of int list
+  | Col of int list
+
+type block =
+  | Order_by of perm list
+  | Group_by of int list list
+  | Tile_by of int list list
+  | Tile_order_by of perm list
+
+type chain = block list
+
+let pp_ints ppf l =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    l
+
+let pp_perm ppf = function
+  | Reg_p (dims, sigma) ->
+    Format.fprintf ppf "RegP(%a, %a)" pp_ints dims pp_ints sigma
+  | Gen_p (name, dims) -> Format.fprintf ppf "GenP(%s%a)" name pp_ints dims
+  | Row dims -> Format.fprintf ppf "Row(%a)" pp_ints dims
+  | Col dims -> Format.fprintf ppf "Col(%a)" pp_ints dims
+
+let pp_list pp ppf l =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp ppf l
+
+let pp_block ppf = function
+  | Order_by perms -> Format.fprintf ppf "OrderBy(%a)" (pp_list pp_perm) perms
+  | Group_by shapes -> Format.fprintf ppf "GroupBy(%a)" (pp_list pp_ints) shapes
+  | Tile_by shapes -> Format.fprintf ppf "TileBy(%a)" (pp_list pp_ints) shapes
+  | Tile_order_by perms ->
+    Format.fprintf ppf "TileOrderBy(%a)" (pp_list pp_perm) perms
+
+let pp_chain ppf chain =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ".")
+    pp_block ppf chain

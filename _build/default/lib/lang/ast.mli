@@ -1,0 +1,20 @@
+(** Surface-syntax AST, mirroring the grammar of the paper's figure 5
+    plus the dotted-chain notation and sugar of section 3.2. *)
+
+type perm =
+  | Reg_p of int list * int list  (** dims, 1-based permutation *)
+  | Gen_p of string * int list  (** gallery bijection name, dims *)
+  | Row of int list
+  | Col of int list
+
+type block =
+  | Order_by of perm list
+  | Group_by of int list list
+  | Tile_by of int list list
+  | Tile_order_by of perm list
+
+type chain = block list
+(** Written order: the final block is the grouping ([GroupBy]/[TileBy]),
+    preceding blocks are reorderings applied right-to-left. *)
+
+val pp_chain : Format.formatter -> chain -> unit

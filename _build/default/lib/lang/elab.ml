@@ -1,0 +1,52 @@
+module L = Lego_layout
+
+exception Elab_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Elab_error s)) fmt
+
+let elab_perm = function
+  | Ast.Reg_p (dims, sigma) ->
+    if List.length dims <> List.length sigma then
+      err "RegP: %d dimensions but a %d-entry permutation" (List.length dims)
+        (List.length sigma);
+    L.Piece.reg ~dims ~sigma:(L.Sigma.of_one_based sigma)
+  | Ast.Gen_p (name, dims) -> (
+    match L.Gallery.lookup name dims ~args:[] with
+    | Some piece -> piece
+    | None ->
+      err "GenP: no gallery bijection %S at %s (known: %s)" name
+        (Format.asprintf "%a" L.Shape.pp dims)
+        (String.concat ", " (L.Gallery.names ())))
+  | Ast.Row dims -> L.Sugar.row dims
+  | Ast.Col dims -> L.Sugar.col dims
+
+let elab_reorder = function
+  | Ast.Order_by perms -> [ L.Order_by.make (List.map elab_perm perms) ]
+  | Ast.Tile_order_by perms -> L.Sugar.tile_order_by (List.map elab_perm perms)
+  | Ast.Tile_by shapes -> [ L.Sugar.tile_by shapes ]
+  | Ast.Group_by _ -> err "GroupBy may only end a chain"
+
+let chain blocks =
+  match List.rev blocks with
+  | [] -> err "empty chain"
+  | last :: rev_prefix ->
+    let prefix = List.rev rev_prefix in
+    let reorders = List.concat_map elab_reorder prefix in
+    (match last with
+    | Ast.Group_by shapes -> L.Group_by.make ~chain:reorders shapes
+    | Ast.Tile_by shapes ->
+      L.Group_by.make ~chain:(reorders @ [ L.Sugar.tile_by shapes ]) shapes
+    | Ast.Order_by _ | Ast.Tile_order_by _ ->
+      err "a chain must end in GroupBy or TileBy")
+
+let layout_of_string text =
+  match Parser.parse text with
+  | Error e -> Error e
+  | Ok ast -> (
+    match chain ast with
+    | layout -> Ok layout
+    | exception Elab_error msg -> Error msg
+    | exception Invalid_argument msg -> Error msg)
+
+let roundtrip layout =
+  layout_of_string (Format.asprintf "%a" L.Group_by.pp layout)

@@ -1,0 +1,19 @@
+(** Elaboration of the surface AST into core layouts.
+
+    A chain must end in a grouping block ([GroupBy] or [TileBy]); every
+    preceding block elaborates to reorderings, with sugar expanded per
+    section 3.2 of the paper.  [GenP] names resolve through
+    {!Lego_layout.Gallery.lookup}. *)
+
+exception Elab_error of string
+
+val chain : Ast.chain -> Lego_layout.Group_by.t
+(** Raises {!Elab_error} (or [Invalid_argument] from core validation,
+    e.g. element-count mismatches). *)
+
+val layout_of_string : string -> (Lego_layout.Group_by.t, string) result
+(** Parse and elaborate in one step. *)
+
+val roundtrip : Lego_layout.Group_by.t -> (Lego_layout.Group_by.t, string) result
+(** Print with {!Lego_layout.Group_by.pp} and re-read — used to test that
+    the notation is self-describing. *)

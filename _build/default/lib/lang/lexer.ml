@@ -1,0 +1,53 @@
+exception Lex_error of Token.pos * string
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let pos () = { Token.line = !line; col = !col } in
+  let push token p = tokens := { Token.token; pos = p } :: !tokens in
+  let i = ref 0 in
+  let advance () =
+    (if !i < n then
+       match src.[!i] with
+       | '\n' ->
+         incr line;
+         col := 1
+       | _ -> incr col);
+    incr i
+  in
+  while !i < n do
+    let c = src.[!i] and p = pos () in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then advance ()
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      push (Token.INT (int_of_string (String.sub src start (!i - start)))) p
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        advance ()
+      done;
+      push (Token.IDENT (String.sub src start (!i - start))) p
+    end
+    else begin
+      (match c with
+      | '(' -> push Token.LPAREN p
+      | ')' -> push Token.RPAREN p
+      | '[' -> push Token.LBRACKET p
+      | ']' -> push Token.RBRACKET p
+      | ',' -> push Token.COMMA p
+      | '.' -> push Token.DOT p
+      | c -> raise (Lex_error (p, Printf.sprintf "unexpected character %C" c)));
+      advance ()
+    end
+  done;
+  push Token.EOF (pos ());
+  List.rev !tokens

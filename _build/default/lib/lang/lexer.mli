@@ -1,0 +1,6 @@
+(** Hand-written lexer for the LEGO notation. *)
+
+exception Lex_error of Token.pos * string
+
+val tokenize : string -> Token.spanned list
+(** Ends with an [EOF] token.  Raises {!Lex_error} on unexpected input. *)

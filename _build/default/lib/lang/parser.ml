@@ -1,0 +1,174 @@
+exception Parse_error of Token.pos * string
+
+type state = { mutable rest : Token.spanned list }
+
+let fail pos msg = raise (Parse_error (pos, msg))
+
+let peek st =
+  match st.rest with
+  | [] -> assert false (* the lexer always terminates the list with EOF *)
+  | s :: _ -> s
+
+let advance st =
+  match st.rest with [] -> assert false | _ :: rest -> st.rest <- rest
+
+let expect st token =
+  let s = peek st in
+  if s.Token.token = token then advance st
+  else
+    fail s.Token.pos
+      (Printf.sprintf "expected %s, found %s" (Token.describe token)
+         (Token.describe s.Token.token))
+
+let parse_int st =
+  let s = peek st in
+  match s.Token.token with
+  | Token.INT n ->
+    advance st;
+    n
+  | t -> fail s.Token.pos ("expected an integer, found " ^ Token.describe t)
+
+let parse_shape st =
+  expect st Token.LBRACKET;
+  let rec go acc =
+    let n = parse_int st in
+    let s = peek st in
+    match s.Token.token with
+    | Token.COMMA ->
+      advance st;
+      go (n :: acc)
+    | Token.RBRACKET ->
+      advance st;
+      List.rev (n :: acc)
+    | t -> fail s.Token.pos ("expected ',' or ']', found " ^ Token.describe t)
+  in
+  go []
+
+let parse_comma_sep st parse_item =
+  let rec go acc =
+    let item = parse_item st in
+    let s = peek st in
+    match s.Token.token with
+    | Token.COMMA ->
+      advance st;
+      go (item :: acc)
+    | Token.RPAREN ->
+      advance st;
+      List.rev (item :: acc)
+    | t -> fail s.Token.pos ("expected ',' or ')', found " ^ Token.describe t)
+  in
+  go []
+
+(* Plain integer list for Row/Col arguments (no brackets). *)
+let parse_ints_to_rparen st = parse_comma_sep st parse_int
+
+(* Keywords may carry an arity suffix: "OrderBy4".  Returns the base word
+   and the optional arity. *)
+let split_arity word =
+  let n = String.length word in
+  let k = ref n in
+  while !k > 0 && word.[!k - 1] >= '0' && word.[!k - 1] <= '9' do
+    decr k
+  done;
+  if !k = n then (word, None)
+  else (String.sub word 0 !k, Some (int_of_string (String.sub word !k (n - !k))))
+
+let rec parse_perm st =
+  let s = peek st in
+  match s.Token.token with
+  | Token.IDENT "RegP" ->
+    advance st;
+    expect st Token.LPAREN;
+    let dims = parse_shape st in
+    expect st Token.COMMA;
+    let sigma = parse_shape st in
+    expect st Token.RPAREN;
+    Ast.Reg_p (dims, sigma)
+  | Token.IDENT "GenP" ->
+    advance st;
+    expect st Token.LPAREN;
+    let name =
+      let s = peek st in
+      match s.Token.token with
+      | Token.IDENT name ->
+        advance st;
+        name
+      | t ->
+        fail s.Token.pos ("expected a bijection name, found " ^ Token.describe t)
+    in
+    let dims = parse_shape st in
+    expect st Token.RPAREN;
+    Ast.Gen_p (name, dims)
+  | Token.IDENT "Row" ->
+    advance st;
+    expect st Token.LPAREN;
+    Ast.Row (parse_ints_to_rparen st)
+  | Token.IDENT "Col" ->
+    advance st;
+    expect st Token.LPAREN;
+    Ast.Col (parse_ints_to_rparen st)
+  | t -> fail s.Token.pos ("expected a permutation, found " ^ Token.describe t)
+
+and parse_block st =
+  let s = peek st in
+  match s.Token.token with
+  | Token.IDENT word -> (
+    let base, arity = split_arity word in
+    let check_arity what got =
+      match arity with
+      | Some a when a <> got ->
+        fail s.Token.pos
+          (Printf.sprintf "%s%d annotation does not match its %d-entry body"
+             what a got)
+      | _ -> ()
+    in
+    advance st;
+    expect st Token.LPAREN;
+    match base with
+    | "OrderBy" ->
+      let perms = parse_comma_sep st parse_perm in
+      (* The paper's subscript is the per-tile dimensionality d. *)
+      List.iter
+        (fun p ->
+          let rank =
+            match p with
+            | Ast.Reg_p (d, _) | Ast.Gen_p (_, d) | Ast.Row d | Ast.Col d ->
+              List.length d
+          in
+          check_arity "OrderBy" rank)
+        perms;
+      Ast.Order_by perms
+    | "TileOrderBy" ->
+      let perms = parse_comma_sep st parse_perm in
+      Ast.Tile_order_by perms
+    | "GroupBy" ->
+      let shapes = parse_comma_sep st parse_shape in
+      List.iter (fun s -> check_arity "GroupBy" (List.length s)) shapes;
+      Ast.Group_by shapes
+    | "TileBy" ->
+      let shapes = parse_comma_sep st parse_shape in
+      Ast.Tile_by shapes
+    | other -> fail s.Token.pos (Printf.sprintf "unknown block %S" other))
+  | t -> fail s.Token.pos ("expected a block, found " ^ Token.describe t)
+
+let parse_chain text =
+  let st = { rest = Lexer.tokenize text } in
+  let rec go acc =
+    let block = parse_block st in
+    let s = peek st in
+    match s.Token.token with
+    | Token.DOT ->
+      advance st;
+      go (block :: acc)
+    | Token.EOF -> List.rev (block :: acc)
+    | t -> fail s.Token.pos ("expected '.' or end of input, found " ^ Token.describe t)
+  in
+  go []
+
+let parse text =
+  match parse_chain text with
+  | chain -> Ok chain
+  | exception Parse_error (pos, msg) ->
+    Error (Format.asprintf "%a: %s" Token.pp_pos pos msg)
+  | exception Lexer.Lex_error (pos, msg) ->
+    Error (Format.asprintf "%a: %s" Token.pp_pos pos msg)

@@ -1,0 +1,24 @@
+(** Recursive-descent parser for the LEGO notation.
+
+    Accepted notation (arity suffixes like [OrderBy4] are optional and
+    checked when present):
+
+    {v
+    chain  ::= block ('.' block)*
+    block  ::= OrderByN '(' perm (',' perm)* ')'
+             | TileOrderBy '(' perm (',' perm)* ')'
+             | GroupByN '(' shape (',' shape)* ')'
+             | TileBy '(' shape (',' shape)* ')'
+    perm   ::= RegP '(' shape ',' shape ')'
+             | GenP '(' ident shape ')'
+             | Row '(' ints ')'  |  Col '(' ints ')'
+    shape  ::= '[' int (',' int)* ']'
+    v} *)
+
+exception Parse_error of Token.pos * string
+
+val parse_chain : string -> Ast.chain
+(** Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val parse : string -> (Ast.chain, string) result
+(** Error message includes the position. *)

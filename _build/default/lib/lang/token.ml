@@ -1,0 +1,26 @@
+type t =
+  | INT of int
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | EOF
+
+type pos = { line : int; col : int }
+type spanned = { token : t; pos : pos }
+
+let describe = function
+  | INT n -> Printf.sprintf "integer %d" n
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | EOF -> "end of input"
+
+let pp_pos ppf { line; col } = Format.fprintf ppf "%d:%d" line col

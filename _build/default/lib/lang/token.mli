@@ -1,0 +1,18 @@
+(** Tokens of the LEGO surface notation, with source positions. *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | EOF
+
+type pos = { line : int; col : int }
+type spanned = { token : t; pos : pos }
+
+val describe : t -> string
+val pp_pos : Format.formatter -> pos -> unit

@@ -1,0 +1,1 @@
+lib/layout/check.ml: Array Format Group_by Piece Printf Shape

@@ -1,0 +1,1 @@
+lib/layout/domain.ml: Format

@@ -1,0 +1,1 @@
+lib/layout/gallery.ml: Array Domain List Piece Printf Seq Shape

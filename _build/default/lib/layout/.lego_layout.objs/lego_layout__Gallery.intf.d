@@ -1,0 +1,1 @@
+lib/layout/gallery.mli: Piece Shape

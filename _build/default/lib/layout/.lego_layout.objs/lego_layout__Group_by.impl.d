@@ -1,0 +1,1 @@
+lib/layout/group_by.ml: Domain Format Int List Order_by Printf Shape

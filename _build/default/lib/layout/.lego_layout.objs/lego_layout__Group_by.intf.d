@@ -1,0 +1,1 @@
+lib/layout/group_by.mli: Domain Format Order_by Shape

@@ -1,0 +1,1 @@
+lib/layout/order_by.ml: Domain Format Int List Piece

@@ -1,0 +1,1 @@
+lib/layout/order_by.mli: Domain Format Piece Shape

@@ -1,0 +1,1 @@
+lib/layout/piece.ml: Domain Format List Shape Sigma String

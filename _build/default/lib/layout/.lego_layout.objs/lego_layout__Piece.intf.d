@@ -1,0 +1,1 @@
+lib/layout/piece.mli: Domain Format Shape Sigma

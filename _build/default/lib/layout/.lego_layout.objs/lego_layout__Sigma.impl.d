@@ -1,0 +1,1 @@
+lib/layout/sigma.ml: Array Format Fun List Printf

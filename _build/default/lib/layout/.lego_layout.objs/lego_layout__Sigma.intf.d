@@ -1,0 +1,1 @@
+lib/layout/sigma.mli: Format

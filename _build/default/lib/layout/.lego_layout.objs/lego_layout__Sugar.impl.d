@@ -1,0 +1,1 @@
+lib/layout/sugar.ml: Group_by List Order_by Piece Shape Sigma

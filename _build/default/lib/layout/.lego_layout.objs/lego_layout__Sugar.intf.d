@@ -1,0 +1,1 @@
+lib/layout/sugar.mli: Group_by Order_by Piece Shape Sigma

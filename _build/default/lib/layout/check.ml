@@ -1,0 +1,57 @@
+let check_image ~what ~numel ~apply ~inv =
+  let seen = Array.make numel false in
+  let result = ref (Ok ()) in
+  (try
+     for k = 0 to numel - 1 do
+       let physical = apply k in
+       if physical < 0 || physical >= numel then begin
+         result :=
+           Error
+             (Printf.sprintf "%s: logical %d maps to %d, outside 0..%d" what k
+                physical (numel - 1));
+         raise Exit
+       end;
+       if seen.(physical) then begin
+         result :=
+           Error
+             (Printf.sprintf "%s: physical offset %d hit twice (at logical %d)"
+                what physical k);
+         raise Exit
+       end;
+       seen.(physical) <- true;
+       let back = inv physical in
+       if back <> k then begin
+         result :=
+           Error
+             (Printf.sprintf "%s: inv (apply %d) = %d, expected identity" what
+                k back);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let piece p =
+  let dims = Piece.dims p in
+  check_image
+    ~what:(Format.asprintf "%a" Piece.pp p)
+    ~numel:(Piece.numel p)
+    ~apply:(fun k -> Piece.apply_ints p (Shape.unflatten_ints dims k))
+    ~inv:(fun physical -> Shape.flatten_ints dims (Piece.inv_ints p physical))
+
+let layout g =
+  let dims = Group_by.dims g in
+  check_image
+    ~what:(Format.asprintf "%a" Group_by.pp g)
+    ~numel:(Group_by.numel g)
+    ~apply:(fun k -> Group_by.apply_ints g (Shape.unflatten_ints dims k))
+    ~inv:(fun physical -> Shape.flatten_ints dims (Group_by.inv_ints g physical))
+
+let table g =
+  let dims = Group_by.dims g in
+  Array.init (Group_by.numel g) (fun k ->
+      Group_by.apply_ints g (Shape.unflatten_ints dims k))
+
+let physical_to_logical g =
+  Array.init (Group_by.numel g) (fun physical ->
+      Array.of_list (Group_by.inv_ints g physical))

@@ -1,0 +1,22 @@
+(** Exhaustive validation of layouts.
+
+    LEGO layouts are bijections by construction only when their pieces are;
+    [GenP] pieces carry arbitrary user functions, so these checkers verify
+    the claim by enumeration (intended for tests and for validating small
+    user-supplied layouts at construction time). *)
+
+val piece : Piece.t -> (unit, string) result
+(** Check that a piece's [apply] is a bijection onto [0 .. numel - 1] and
+    that [inv] is its exact inverse. *)
+
+val layout : Group_by.t -> (unit, string) result
+(** Same check for a whole ensemble. *)
+
+val table : Group_by.t -> int array
+(** [table g] tabulates [apply] over the logical space in row-major order:
+    element [k] is the physical offset of the logical index with flat
+    position [k] — e.g. the contents of the paper's figure 9 pictures. *)
+
+val physical_to_logical : Group_by.t -> int array array
+(** [physical_to_logical g] lists, for each physical offset, the logical
+    multi-index stored there (the inverse picture). *)

@@ -1,0 +1,57 @@
+module type S = sig
+  type t
+
+  val const : int -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val rem : t -> t -> t
+  val le : t -> t -> t
+  val lt : t -> t -> t
+  val eq : t -> t -> t
+  val select : t -> t -> t -> t
+  val isqrt : t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let floor_rem a b =
+  let r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then r + b else r
+
+let int_isqrt n =
+  if n < 0 then invalid_arg "Domain.int_isqrt: negative argument";
+  if n < 2 then n
+  else begin
+    (* Newton iteration seeded from the float sqrt, then corrected; exact
+       for every non-negative [int]. *)
+    let r = ref (int_of_float (sqrt (float_of_int n))) in
+    while !r * !r > n do
+      decr r
+    done;
+    while (!r + 1) * (!r + 1) <= n do
+      incr r
+    done;
+    !r
+  end
+
+module Int = struct
+  type t = int
+
+  let const n = n
+  let add = ( + )
+  let sub = ( - )
+  let mul = ( * )
+  let div = floor_div
+  let rem = floor_rem
+  let le a b = if a <= b then 1 else 0
+  let lt a b = if a < b then 1 else 0
+  let eq a b = if a = b then 1 else 0
+  let select c a b = if c <> 0 then a else b
+  let isqrt = int_isqrt
+  let pp = Format.pp_print_int
+end

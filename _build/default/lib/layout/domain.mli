@@ -1,0 +1,56 @@
+(** Index domains.
+
+    The LEGO algebra is generic in the kind of value an index component is:
+    evaluating a layout over machine integers yields concrete physical
+    offsets, while evaluating it over symbolic expressions yields the index
+    {e expressions} that the code generators print (the paper's SymPy
+    path).  A domain packages the integer-arithmetic operations both
+    interpretations share. *)
+
+module type S = sig
+  type t
+
+  val const : int -> t
+  (** [const n] embeds the literal [n]. *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+
+  val div : t -> t -> t
+  (** Floor division.  Layout indices are non-negative, but the domain must
+      still be total on negatives so that user-defined [GenP] bijections may
+      compute intermediate negative values. *)
+
+  val rem : t -> t -> t
+  (** Remainder paired with {!div}: [add (mul (div a b) b) (rem a b) = a]. *)
+
+  val le : t -> t -> t
+  (** [le a b] is 1 when [a <= b], else 0 (booleans are 0/1 values so that
+      user bijections stay expressible in every domain). *)
+
+  val lt : t -> t -> t
+  val eq : t -> t -> t
+
+  val select : t -> t -> t -> t
+  (** [select c a b] is [a] when [c] is non-zero and [b] otherwise. *)
+
+  val isqrt : t -> t
+  (** Integer square root (floor); used by e.g. the inverse anti-diagonal
+      bijection of the paper's figure 8. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Int : S with type t = int
+(** The concrete interpretation: machine integers with floor division. *)
+
+val floor_div : int -> int -> int
+(** Floor division on integers ([-7 / 2 = -4]), exposed for reuse. *)
+
+val floor_rem : int -> int -> int
+(** Remainder matching {!floor_div} (same sign as the divisor). *)
+
+val int_isqrt : int -> int
+(** [int_isqrt n] is the largest [r] with [r * r <= n]; raises
+    [Invalid_argument] on negative input. *)

@@ -1,0 +1,58 @@
+type t = int list
+
+let validate dims =
+  if dims = [] then invalid_arg "Shape.validate: empty shape";
+  List.iter
+    (fun n ->
+      if n <= 0 then
+        invalid_arg (Printf.sprintf "Shape.validate: non-positive extent %d" n))
+    dims
+
+let numel dims = List.fold_left ( * ) 1 dims
+let rank = List.length
+let equal (a : t) (b : t) = a = b
+
+let pp ppf dims =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    dims
+
+let flatten (type a) (module D : Domain.S with type t = a) dims (idx : a list)
+    : a =
+  if List.length dims <> List.length idx then
+    invalid_arg "Shape.flatten: index rank does not match shape rank";
+  match idx with
+  | [] -> D.const 0
+  | i0 :: rest ->
+    (* Horner evaluation of B: ((i1 * n2 + i2) * n3 + i3) ... *)
+    let rec go acc dims idx =
+      match (dims, idx) with
+      | [], [] -> acc
+      | n :: dims, i :: idx -> go (D.add (D.mul acc (D.const n)) i) dims idx
+      | _ -> assert false
+    in
+    go i0 (List.tl dims) rest
+
+let unflatten (type a) (module D : Domain.S with type t = a) dims (flat : a) :
+    a list =
+  validate dims;
+  (* Peel from the innermost dimension outwards; the outermost component
+     keeps the undivided quotient, matching the paper's B^-1. *)
+  let rec go acc rev_dims flat =
+    match rev_dims with
+    | [] -> assert false
+    | [ _outermost ] -> flat :: acc
+    | n :: rest ->
+      go (D.rem flat (D.const n) :: acc) rest (D.div flat (D.const n))
+  in
+  go [] (List.rev dims) flat
+
+let flatten_ints dims idx = flatten (module Domain.Int) dims idx
+let unflatten_ints dims flat = unflatten (module Domain.Int) dims flat
+
+let indices dims =
+  validate dims;
+  let total = numel dims in
+  Seq.map (fun flat -> unflatten_ints dims flat) (Seq.init total Fun.id)

@@ -1,0 +1,1 @@
+lib/mlirsim/mast.ml: Format List String

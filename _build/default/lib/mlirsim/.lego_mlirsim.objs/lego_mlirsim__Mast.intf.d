@@ -1,0 +1,1 @@
+lib/mlirsim/mast.mli: Format

@@ -1,0 +1,1 @@
+lib/mlirsim/minterp.ml: Array Bool Hashtbl Lego_layout List Mast Printf

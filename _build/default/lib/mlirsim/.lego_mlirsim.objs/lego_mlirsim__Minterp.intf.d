@@ -1,0 +1,1 @@
+lib/mlirsim/minterp.mli: Mast

@@ -1,0 +1,1 @@
+lib/mlirsim/mparser.ml: Array List Mast Printf Str String

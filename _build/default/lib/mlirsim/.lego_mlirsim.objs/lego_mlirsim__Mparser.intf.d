@@ -1,0 +1,1 @@
+lib/mlirsim/mparser.mli: Mast

@@ -1,0 +1,30 @@
+(** AST for the MLIR subset the LEGO backend emits: [func] over [index]
+    and 1-D [memref] values, [arith] ops, [scf.for], [memref.load]/
+    [memref.store], and the custom [lego.isqrt]. *)
+
+type binop = Add | Mul | FloorDiv | Rem
+type cmp = Le | Lt | Eq
+
+type op =
+  | Constant of { dst : string; value : int }
+  | Binop of { dst : string; kind : binop; lhs : string; rhs : string }
+  | Cmpi of { dst : string; kind : cmp; lhs : string; rhs : string }
+  | Select of { dst : string; cond : string; if_true : string; if_false : string }
+  | Isqrt of { dst : string; arg : string }
+  | Load of { dst : string; mem : string; idx : string }
+  | Store of { value : string; mem : string; idx : string }
+  | For of { var : string; lb : string; ub : string; step : string; body : op list }
+  | Return of string list
+
+type param_type = Index | Memref
+
+type func = {
+  fname : string;
+  params : (string * param_type) list;
+  body : op list;
+}
+
+type modul = func list
+
+val find_func : modul -> string -> func option
+val pp_op : Format.formatter -> op -> unit

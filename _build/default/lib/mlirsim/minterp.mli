@@ -1,0 +1,15 @@
+(** Interpreter for the MLIR subset: executes emitted index functions and
+    [scf.for] copy loops so the MLIR backend can be validated end-to-end
+    against the layout algebra (the role the MLIR toolchain plays in the
+    paper's section 6.3). *)
+
+type value = Int of int | Mem of int array
+
+exception Runtime_error of string
+
+val run_func : Mast.modul -> string -> value list -> int list
+(** [run_func m name args] executes function [name]; [Mem] arguments are
+    mutated in place (that is how copy kernels return their result).
+    Returns the [return] operands.  Raises {!Runtime_error} on missing
+    functions, arity mismatches, unbound names or out-of-bounds memory
+    accesses, and [Division_by_zero] as the arithmetic does. *)

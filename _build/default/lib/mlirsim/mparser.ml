@@ -1,0 +1,176 @@
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let strip s = String.trim s
+
+(* "%name" -> "name" *)
+let ssa line s =
+  let s = strip s in
+  if String.length s > 1 && s.[0] = '%' then String.sub s 1 (String.length s - 1)
+  else fail line (Printf.sprintf "expected an SSA name, got %S" s)
+
+let split_commas s = List.map strip (String.split_on_char ',' s)
+
+(* Split "lhs : type" and return lhs. *)
+let drop_type line s =
+  match String.index_opt s ':' with
+  | Some k -> strip (String.sub s 0 k)
+  | None -> fail line (Printf.sprintf "missing type annotation in %S" s)
+
+let re_func =
+  Str.regexp
+    {|func\.func @\([A-Za-z0-9_]+\)(\([^)]*\))\( -> .*\)? {|}
+
+let re_assign = Str.regexp {|\(%[A-Za-z0-9_]+\) = \(.*\)|}
+
+let re_for =
+  Str.regexp
+    {|scf\.for \(%[A-Za-z0-9_]+\) = \(%[A-Za-z0-9_]+\) to \(%[A-Za-z0-9_]+\) step \(%[A-Za-z0-9_]+\) {|}
+
+let re_load = Str.regexp {|memref\.load \(%[A-Za-z0-9_]+\)\[\(%[A-Za-z0-9_]+\)\]|}
+
+let re_store =
+  Str.regexp
+    {|memref\.store \(%[A-Za-z0-9_]+\), \(%[A-Za-z0-9_]+\)\[\(%[A-Za-z0-9_]+\)\]|}
+
+let parse_param line p =
+  match String.split_on_char ':' p with
+  | [ name; ty ] ->
+    let name = ssa line name in
+    let ty = strip ty in
+    if ty = "index" then (name, Mast.Index)
+    else if String.length ty >= 6 && String.sub ty 0 6 = "memref" then
+      (name, Mast.Memref)
+    else fail line (Printf.sprintf "unsupported parameter type %S" ty)
+  | _ -> fail line (Printf.sprintf "malformed parameter %S" p)
+
+(* Parse the right-hand side of an assignment. *)
+let parse_rhs line dst rhs : Mast.op =
+  let binop kind rest =
+    match split_commas (drop_type line rest) with
+    | [ a; b ] -> Mast.Binop { dst; kind; lhs = ssa line a; rhs = ssa line b }
+    | _ -> fail line "binary op expects two operands"
+  in
+  let word, rest =
+    match String.index_opt rhs ' ' with
+    | Some k ->
+      ( String.sub rhs 0 k,
+        strip (String.sub rhs (k + 1) (String.length rhs - k - 1)) )
+    | None -> (rhs, "")
+  in
+  match word with
+  | "arith.constant" -> (
+    match int_of_string_opt (drop_type line rest) with
+    | Some value -> Mast.Constant { dst; value }
+    | None -> fail line (Printf.sprintf "bad constant %S" rest))
+  | "arith.addi" -> binop Mast.Add rest
+  | "arith.muli" -> binop Mast.Mul rest
+  | "arith.floordivsi" -> binop Mast.FloorDiv rest
+  | "arith.remsi" -> binop Mast.Rem rest
+  | "arith.cmpi" -> (
+    match split_commas (drop_type line rest) with
+    | [ pred; a; b ] ->
+      let kind =
+        match pred with
+        | "sle" -> Mast.Le
+        | "slt" -> Mast.Lt
+        | "eq" -> Mast.Eq
+        | p -> fail line (Printf.sprintf "unsupported cmpi predicate %S" p)
+      in
+      Mast.Cmpi { dst; kind; lhs = ssa line a; rhs = ssa line b }
+    | _ -> fail line "cmpi expects predicate and two operands")
+  | "arith.select" -> (
+    match split_commas (drop_type line rest) with
+    | [ c; a; b ] ->
+      Mast.Select
+        { dst; cond = ssa line c; if_true = ssa line a; if_false = ssa line b }
+    | _ -> fail line "select expects three operands")
+  | "lego.isqrt" -> Mast.Isqrt { dst; arg = ssa line (drop_type line rest) }
+  | "memref.load" ->
+    if Str.string_match re_load rhs 0 then
+      Mast.Load
+        {
+          dst;
+          mem = ssa line (Str.matched_group 1 rhs);
+          idx = ssa line (Str.matched_group 2 rhs);
+        }
+    else fail line (Printf.sprintf "malformed load %S" rhs)
+  | other -> fail line (Printf.sprintf "unsupported operation %S" other)
+
+let parse_module text =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let n = Array.length lines in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some (strip lines.(!pos)) else None in
+  (* Line number of the most recently consumed line. *)
+  let cur_line = ref 0 in
+  let lineno () = !cur_line in
+  let next () =
+    let l = peek () in
+    cur_line := !pos + 1;
+    incr pos;
+    l
+  in
+  (* Parse ops until a lone "}" closes the current region. *)
+  let rec parse_ops acc =
+    match next () with
+    | None -> fail (lineno ()) "unexpected end of input inside a region"
+    | Some "" -> parse_ops acc
+    | Some "}" -> List.rev acc
+    | Some line when Str.string_match re_for line 0 ->
+      let var = ssa (lineno ()) (Str.matched_group 1 line) in
+      let lb = ssa (lineno ()) (Str.matched_group 2 line) in
+      let ub = ssa (lineno ()) (Str.matched_group 3 line) in
+      let step = ssa (lineno ()) (Str.matched_group 4 line) in
+      let body = parse_ops [] in
+      parse_ops (Mast.For { var; lb; ub; step; body } :: acc)
+    | Some line when Str.string_match re_store line 0 ->
+      let value = ssa (lineno ()) (Str.matched_group 1 line) in
+      let mem = ssa (lineno ()) (Str.matched_group 2 line) in
+      let idx = ssa (lineno ()) (Str.matched_group 3 line) in
+      parse_ops (Mast.Store { value; mem; idx } :: acc)
+    | Some line when String.length line >= 6 && String.sub line 0 6 = "return"
+      ->
+      let rest = strip (String.sub line 6 (String.length line - 6)) in
+      let names =
+        if rest = "" then []
+        else
+          let operands =
+            match String.index_opt rest ':' with
+            | Some k -> String.sub rest 0 k
+            | None -> rest
+          in
+          List.map (ssa (lineno ())) (split_commas operands)
+      in
+      parse_ops (Mast.Return names :: acc)
+    | Some line when Str.string_match re_assign line 0 ->
+      let dst = ssa (lineno ()) (Str.matched_group 1 line) in
+      let rhs = strip (Str.matched_group 2 line) in
+      parse_ops (parse_rhs (lineno ()) dst rhs :: acc)
+    | Some line -> fail (lineno ()) (Printf.sprintf "cannot parse %S" line)
+  in
+  let rec parse_funcs acc =
+    match next () with
+    | None -> List.rev acc
+    | Some "" -> parse_funcs acc
+    | Some "module {" -> parse_funcs acc
+    | Some "}" -> parse_funcs acc
+    | Some line when Str.string_match re_func line 0 ->
+      let fname = Str.matched_group 1 line in
+      let params_text = Str.matched_group 2 line in
+      let params =
+        if strip params_text = "" then []
+        else List.map (parse_param (lineno ())) (split_commas params_text)
+      in
+      let body = parse_ops [] in
+      parse_funcs ({ Mast.fname; params; body } :: acc)
+    | Some line -> fail (lineno ()) (Printf.sprintf "cannot parse %S" line)
+  in
+  parse_funcs []
+
+let parse_module_result text =
+  match parse_module text with
+  | m -> Ok m
+  | exception Parse_error (line, msg) ->
+    Error (Printf.sprintf "line %d: %s" line msg)

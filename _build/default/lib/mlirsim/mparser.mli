@@ -1,0 +1,12 @@
+(** Parser for the emitted MLIR subset (see {!Mast}).
+
+    Line-oriented recursive-descent: enough to round-trip everything
+    {!Lego_codegen.Mlir_gen} produces, with positioned error messages. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and description. *)
+
+val parse_module : string -> Mast.modul
+(** Raises {!Parse_error}. *)
+
+val parse_module_result : string -> (Mast.modul, string) result

@@ -1,0 +1,1 @@
+lib/symbolic/affine.ml: Expr Format Hashtbl Lego_layout List Option Printf Seq String Sym

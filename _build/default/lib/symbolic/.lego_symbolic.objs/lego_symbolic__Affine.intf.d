@@ -1,0 +1,1 @@
+lib/symbolic/affine.mli: Expr Format Lego_layout

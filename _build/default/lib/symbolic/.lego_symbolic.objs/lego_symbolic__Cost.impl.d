@@ -1,0 +1,1 @@
+lib/symbolic/cost.ml: Expand Expr List Simplify

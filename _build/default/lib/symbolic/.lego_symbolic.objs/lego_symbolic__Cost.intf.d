@@ -1,0 +1,1 @@
+lib/symbolic/cost.mli: Expr Range

@@ -1,0 +1,1 @@
+lib/symbolic/expand.ml: Expr List

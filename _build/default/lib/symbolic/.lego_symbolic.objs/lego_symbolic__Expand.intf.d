@@ -1,0 +1,1 @@
+lib/symbolic/expand.mli: Expr

@@ -1,0 +1,1 @@
+lib/symbolic/expr.ml: Format Int Lego_layout List Map String

@@ -1,0 +1,1 @@
+lib/symbolic/prover.ml: Expr Range

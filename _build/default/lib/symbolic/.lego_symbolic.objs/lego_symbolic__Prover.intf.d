@@ -1,0 +1,1 @@
+lib/symbolic/prover.mli: Expr Range

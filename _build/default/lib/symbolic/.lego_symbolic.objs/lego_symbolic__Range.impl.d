@@ -1,0 +1,1 @@
+lib/symbolic/range.ml: Expr Format Lego_layout List Map Option String

@@ -1,0 +1,1 @@
+lib/symbolic/simplify.ml: Array Expr Format List Option Prover Range

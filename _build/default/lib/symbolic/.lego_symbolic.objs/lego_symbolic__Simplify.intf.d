@@ -1,0 +1,1 @@
+lib/symbolic/simplify.mli: Expr Format Range

@@ -1,0 +1,1 @@
+lib/symbolic/sym.ml: Expr Lego_layout List Printf Random Range Simplify String

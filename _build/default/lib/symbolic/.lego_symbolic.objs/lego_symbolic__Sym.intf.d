@@ -1,0 +1,1 @@
+lib/symbolic/sym.mli: Expr Lego_layout Range

@@ -1,0 +1,35 @@
+(** Affine (stride) analysis of layouts.
+
+    Section 3.3 of the paper: CuTe/Graphene describe layouts as
+    shape/stride pairs that the programmer writes by hand, while LEGO
+    derives them from the tiling specification.  This module performs
+    that derivation in reverse engineering form — given any layout, it
+    recovers the per-dimension strides whenever the mapping is affine
+    (all [RegP]-built layouts are), and reports the non-affine pieces
+    (anti-diagonal, Morton, ...) as inexpressible in the stride algebra,
+    which is the paper's expressiveness comparison made executable. *)
+
+type t = {
+  offset : int;
+  dims : (int * int) list;  (** (extent, stride) per logical dimension *)
+}
+
+val linearize :
+  vars:string list -> Expr.t -> (int * (string * int) list) option
+(** [linearize ~vars e] decomposes [e] as [offset + sum coeff_v * v] when
+    [e] is affine in exactly the given variables (no divisions, selects,
+    or products of variables); [None] otherwise. *)
+
+val of_layout : Lego_layout.Group_by.t -> t option
+(** The shape/stride description of the layout's (simplified) [apply]
+    mapping, or [None] when the layout is not affine — i.e. when it lies
+    outside the CuTe/Graphene stride algebra. *)
+
+val check : Lego_layout.Group_by.t -> t -> (unit, string) result
+(** Exhaustively validate a stride description against the layout. *)
+
+val to_cute : t -> string
+(** Render in CuTe/Graphene notation, e.g. ["(6, 6):(6, 1)"] for the
+    paper's equation 6 example. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+let rec expand (e : Expr.t) : Expr.t =
+  match e with
+  | Const _ | Var _ -> e
+  | Mul factors ->
+    let factors = List.map expand factors in
+    (* Fold factors together, distributing over any sum encountered. *)
+    List.fold_left
+      (fun acc f ->
+        let acc_terms = match (acc : Expr.t) with Add xs -> xs | e -> [ e ] in
+        let f_terms = match (f : Expr.t) with Add xs -> xs | e -> [ e ] in
+        Expr.sum
+          (List.concat_map
+             (fun a -> List.map (fun b -> Expr.mul a b) f_terms)
+             acc_terms))
+      Expr.one factors
+  | _ -> Expr.map_children expand e

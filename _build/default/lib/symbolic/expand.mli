@@ -1,0 +1,10 @@
+(** Pre-expansion of index expressions (section 4.1 of the paper).
+
+    Distributing products over sums before simplification can expose
+    rewrite opportunities, but can also inflate the operation count (the
+    paper observes the NW benchmark is faster {e without} expansion); the
+    choice is left to the cost model of {!Cost}. *)
+
+val expand : Expr.t -> Expr.t
+(** Fully distribute [Mul] over [Add] (recursively, including under
+    division, modulo and select nodes). *)

@@ -1,0 +1,295 @@
+type t =
+  | Const of int
+  | Var of string
+  | Add of t list
+  | Mul of t list
+  | Div of t * t
+  | Mod of t * t
+  | Select of t * t * t
+  | Le of t * t
+  | Lt of t * t
+  | Eq of t * t
+  | Isqrt of t
+
+let tag = function
+  | Const _ -> 0
+  | Var _ -> 1
+  | Add _ -> 2
+  | Mul _ -> 3
+  | Div _ -> 4
+  | Mod _ -> 5
+  | Select _ -> 6
+  | Le _ -> 7
+  | Lt _ -> 8
+  | Eq _ -> 9
+  | Isqrt _ -> 10
+
+let rec compare a b =
+  match (a, b) with
+  | Const x, Const y -> Int.compare x y
+  | Var x, Var y -> String.compare x y
+  | Add xs, Add ys | Mul xs, Mul ys -> List.compare compare xs ys
+  | Div (x1, x2), Div (y1, y2) | Mod (x1, x2), Mod (y1, y2) ->
+    let c = compare x1 y1 in
+    if c <> 0 then c else compare x2 y2
+  | Le (x1, x2), Le (y1, y2)
+  | Lt (x1, x2), Lt (y1, y2)
+  | Eq (x1, x2), Eq (y1, y2) ->
+    let c = compare x1 y1 in
+    if c <> 0 then c else compare x2 y2
+  | Select (x1, x2, x3), Select (y1, y2, y3) ->
+    let c = compare x1 y1 in
+    if c <> 0 then c
+    else
+      let c = compare x2 y2 in
+      if c <> 0 then c else compare x3 y3
+  | Isqrt x, Isqrt y -> compare x y
+  | _ -> Int.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+let const n = Const n
+let var name = Var name
+let zero = Const 0
+let one = Const 1
+
+(* (coefficient, non-constant factors) view of a product. *)
+let as_linear_term = function
+  | Const n -> (n, [])
+  | Mul (Const n :: rest) -> (n, rest)
+  | Mul factors -> (1, factors)
+  | e -> (1, [ e ])
+
+let of_linear_term (coeff, factors) =
+  match (coeff, factors) with
+  | 0, _ -> Const 0
+  | n, [] -> Const n
+  | 1, [ f ] -> f
+  | 1, fs -> Mul fs
+  | n, fs -> Mul (Const n :: fs)
+
+let sum terms =
+  (* Flatten, fold constants, collect like terms, order canonically. *)
+  let flat =
+    List.concat_map (function Add xs -> xs | e -> [ e ]) terms
+  in
+  let constant = ref 0 in
+  let module M = Map.Make (struct
+    type nonrec t = t list
+
+    let compare = List.compare compare
+  end) in
+  let by_factors =
+    List.fold_left
+      (fun acc e ->
+        let coeff, factors = as_linear_term e in
+        if factors = [] then begin
+          constant := !constant + coeff;
+          acc
+        end
+        else
+          M.update factors
+            (function None -> Some coeff | Some c -> Some (c + coeff))
+            acc)
+      M.empty flat
+  in
+  let monomials =
+    M.fold
+      (fun factors coeff acc ->
+        if coeff = 0 then acc else of_linear_term (coeff, factors) :: acc)
+      by_factors []
+  in
+  let monomials = List.sort compare monomials in
+  let with_const =
+    if !constant = 0 && monomials <> [] then monomials
+    else Const !constant :: monomials
+  in
+  match with_const with [] -> Const 0 | [ e ] -> e | es -> Add es
+
+let scale_term c t =
+  let coeff, factors = as_linear_term t in
+  of_linear_term (c * coeff, factors)
+
+let sum_distributed c terms = sum (List.map (scale_term c) terms)
+
+let product factors =
+  let flat =
+    List.concat_map (function Mul xs -> xs | e -> [ e ]) factors
+  in
+  let constant = ref 1 in
+  let rest =
+    List.filter
+      (function
+        | Const n ->
+          constant := !constant * n;
+          false
+        | _ -> true)
+      flat
+  in
+  if !constant = 0 then Const 0
+  else
+    match rest with
+    | [ Add terms ] ->
+      (* Distribute a constant over a lone sum so that differences of
+         equal sums cancel in the Add normal form (the prover depends on
+         this). *)
+      let c = !constant in
+      sum_distributed c terms
+    | _ ->
+      let rest = List.sort compare rest in
+      let with_const = if !constant = 1 && rest <> [] then rest
+        else Const !constant :: rest
+      in
+      (match with_const with [] -> Const 1 | [ e ] -> e | es -> Mul es)
+
+let add a b = sum [ a; b ]
+let mul a b = product [ a; b ]
+let neg a = mul (Const (-1)) a
+let sub a b = add a (neg b)
+
+let div a b =
+  match (a, b) with
+  | _, Const 1 -> a
+  | Const x, Const y when y <> 0 -> Const (Lego_layout.Domain.floor_div x y)
+  | Const 0, _ -> Const 0
+  | _ -> Div (a, b)
+
+let md a b =
+  match (a, b) with
+  | _, Const 1 -> Const 0
+  | Const x, Const y when y <> 0 -> Const (Lego_layout.Domain.floor_rem x y)
+  | Const 0, _ -> Const 0
+  | _ -> Mod (a, b)
+
+let bool_fold op a b mk =
+  match (a, b) with
+  | Const x, Const y -> Const (if op x y then 1 else 0)
+  | _ when equal a b -> Const (if op 0 0 then 1 else 0)
+  | _ -> mk (a, b)
+
+let le a b = bool_fold ( <= ) a b (fun (a, b) -> Le (a, b))
+let lt a b = bool_fold ( < ) a b (fun (a, b) -> Lt (a, b))
+let eq a b = bool_fold ( = ) a b (fun (a, b) -> Eq (a, b))
+
+let select c a b =
+  match c with
+  | Const 0 -> b
+  | Const _ -> a
+  | _ -> if equal a b then a else Select (c, a, b)
+
+let isqrt = function
+  | Const n when n >= 0 -> Const (Lego_layout.Domain.int_isqrt n)
+  | e -> Isqrt e
+
+let map_children f e =
+  match e with
+  | Const _ | Var _ -> e
+  | Add xs -> sum (List.map f xs)
+  | Mul xs -> product (List.map f xs)
+  | Div (a, b) -> div (f a) (f b)
+  | Mod (a, b) -> md (f a) (f b)
+  | Select (c, a, b) -> select (f c) (f a) (f b)
+  | Le (a, b) -> le (f a) (f b)
+  | Lt (a, b) -> lt (f a) (f b)
+  | Eq (a, b) -> eq (f a) (f b)
+  | Isqrt a -> isqrt (f a)
+
+let rec rebuild e = map_children rebuild e
+
+let vars e =
+  let rec go acc = function
+    | Const _ -> acc
+    | Var v -> v :: acc
+    | Add xs | Mul xs -> List.fold_left go acc xs
+    | Div (a, b) | Mod (a, b) | Le (a, b) | Lt (a, b) | Eq (a, b) ->
+      go (go acc a) b
+    | Select (c, a, b) -> go (go (go acc c) a) b
+    | Isqrt a -> go acc a
+  in
+  List.sort_uniq String.compare (go [] e)
+
+let rec subst bindings e =
+  match e with
+  | Var v -> ( match List.assoc_opt v bindings with Some e' -> e' | None -> e)
+  | Const _ -> e
+  | _ -> map_children (subst bindings) e
+
+let rec eval ~env e =
+  match e with
+  | Const n -> n
+  | Var v -> env v
+  | Add xs -> List.fold_left (fun acc x -> acc + eval ~env x) 0 xs
+  | Mul xs -> List.fold_left (fun acc x -> acc * eval ~env x) 1 xs
+  | Div (a, b) ->
+    let d = eval ~env b in
+    if d = 0 then raise Division_by_zero;
+    Lego_layout.Domain.floor_div (eval ~env a) d
+  | Mod (a, b) ->
+    let d = eval ~env b in
+    if d = 0 then raise Division_by_zero;
+    Lego_layout.Domain.floor_rem (eval ~env a) d
+  | Select (c, a, b) -> if eval ~env c <> 0 then eval ~env a else eval ~env b
+  | Le (a, b) -> if eval ~env a <= eval ~env b then 1 else 0
+  | Lt (a, b) -> if eval ~env a < eval ~env b then 1 else 0
+  | Eq (a, b) -> if eval ~env a = eval ~env b then 1 else 0
+  | Isqrt a -> Lego_layout.Domain.int_isqrt (eval ~env a)
+
+let rec size = function
+  | Const _ | Var _ -> 1
+  | Add xs | Mul xs -> List.fold_left (fun acc x -> acc + size x) 1 xs
+  | Div (a, b) | Mod (a, b) | Le (a, b) | Lt (a, b) | Eq (a, b) ->
+    1 + size a + size b
+  | Select (c, a, b) -> 1 + size c + size a + size b
+  | Isqrt a -> 1 + size a
+
+(* Pretty-printing with C-like precedence. *)
+let rec pp_prec prec ppf e =
+  let paren p body =
+    if prec > p then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match e with
+  | Const n ->
+    if n < 0 then paren 10 (fun ppf -> Format.fprintf ppf "%d" n)
+    else Format.fprintf ppf "%d" n
+  | Var v -> Format.pp_print_string ppf v
+  | Add xs ->
+    paren 4 (fun ppf ->
+        List.iteri
+          (fun k x ->
+            if k > 0 then
+              match as_linear_term x with
+              | c, factors when c < 0 ->
+                Format.fprintf ppf " - %a" (pp_prec 5)
+                  (of_linear_term (-c, factors))
+              | _ -> Format.fprintf ppf " + %a" (pp_prec 5) x
+            else pp_prec 5 ppf x)
+          xs)
+  | Mul xs ->
+    paren 5 (fun ppf ->
+        List.iteri
+          (fun k x ->
+            if k > 0 then Format.fprintf ppf "*%a" (pp_prec 6) x
+            else pp_prec 6 ppf x)
+          xs)
+  | Div (a, b) ->
+    paren 5 (fun ppf ->
+        Format.fprintf ppf "%a / %a" (pp_prec 5) a (pp_prec 6) b)
+  | Mod (a, b) ->
+    paren 5 (fun ppf ->
+        Format.fprintf ppf "%a %% %a" (pp_prec 5) a (pp_prec 6) b)
+  | Select (c, a, b) ->
+    paren 1 (fun ppf ->
+        Format.fprintf ppf "%a ? %a : %a" (pp_prec 2) c (pp_prec 2) a
+          (pp_prec 1) b)
+  | Le (a, b) ->
+    paren 3 (fun ppf ->
+        Format.fprintf ppf "%a <= %a" (pp_prec 4) a (pp_prec 4) b)
+  | Lt (a, b) ->
+    paren 3 (fun ppf ->
+        Format.fprintf ppf "%a < %a" (pp_prec 4) a (pp_prec 4) b)
+  | Eq (a, b) ->
+    paren 3 (fun ppf ->
+        Format.fprintf ppf "%a == %a" (pp_prec 4) a (pp_prec 4) b)
+  | Isqrt a -> Format.fprintf ppf "isqrt(%a)" (pp_prec 0) a
+
+let pp ppf e = pp_prec 0 ppf e
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,85 @@
+(** Symbolic integer index expressions.
+
+    This module replaces the paper's use of SymPy: a small normal-form
+    expression algebra over the integers with floor division, remainder,
+    comparisons, selection and integer square root — exactly the operations
+    the LEGO layout algebra needs.  Smart constructors keep expressions in
+    a light normal form (n-ary sums/products, folded constants, collected
+    like terms, canonical argument order) so that structural equality is a
+    useful notion and the rewrite rules of {!Rules} can match. *)
+
+type t = private
+  | Const of int
+  | Var of string
+  | Add of t list
+      (** n-ary sum; invariant: >= 2 summands, no nested [Add], at most one
+          leading constant, like terms collected, canonically ordered. *)
+  | Mul of t list
+      (** n-ary product; invariant: >= 2 factors, no nested [Mul], at most
+          one leading constant, canonically ordered. *)
+  | Div of t * t  (** floor division *)
+  | Mod of t * t  (** remainder matching floor division *)
+  | Select of t * t * t  (** [Select (c, a, b)]: [a] if [c <> 0] else [b] *)
+  | Le of t * t
+  | Lt of t * t
+  | Eq of t * t
+  | Isqrt of t
+
+val const : int -> t
+val var : string -> t
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+val div : t -> t -> t
+val md : t -> t -> t
+val select : t -> t -> t -> t
+val le : t -> t -> t
+val lt : t -> t -> t
+val eq : t -> t -> t
+val isqrt : t -> t
+
+val sum : t list -> t
+val product : t list -> t
+
+val compare : t -> t -> int
+(** Total structural order (also the canonical argument order). *)
+
+val equal : t -> t -> bool
+
+val rebuild : t -> t
+(** Re-apply all smart constructors bottom-up (used after surgical rule
+    rewrites). *)
+
+val map_children : (t -> t) -> t -> t
+(** Apply [f] to immediate children and rebuild the node with smart
+    constructors; leaves are returned unchanged. *)
+
+val vars : t -> string list
+(** Free variables, sorted, without duplicates. *)
+
+val subst : (string * t) list -> t -> t
+(** Simultaneous capture-free substitution (variables are free-only). *)
+
+val eval : env:(string -> int) -> t -> int
+(** Evaluate under a total environment.  Raises [Division_by_zero] when a
+    divisor evaluates to 0, and [Invalid_argument] on [Isqrt] of a
+    negative. *)
+
+val as_linear_term : t -> int * t list
+(** [as_linear_term e] decomposes [e] as [coeff * factors] with [factors]
+    the non-constant part of a product (empty for a constant). *)
+
+val of_linear_term : int * t list -> t
+
+val size : t -> int
+(** Number of AST nodes (used by the cost model and as rewrite fuel). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable infix form (C-like precedence, explicit parens where
+    needed). *)
+
+val to_string : t -> string

@@ -1,0 +1,25 @@
+type stats = { mutable queries : int; mutable proved : int }
+
+let stats () = { queries = 0; proved = 0 }
+let global_stats = stats ()
+
+let record ok =
+  global_stats.queries <- global_stats.queries + 1;
+  if ok then global_stats.proved <- global_stats.proved + 1;
+  ok
+
+let nonneg env e =
+  let r = Range.of_expr env e in
+  record (r.Range.lo >= 0)
+
+let positive env e =
+  let r = Range.of_expr env e in
+  record (r.Range.lo > 0)
+
+let nonzero env e =
+  let r = Range.of_expr env e in
+  record (r.Range.lo > 0 || r.Range.hi < 0)
+
+let le env a b = nonneg env (Expr.sub b a)
+let lt env a b = nonneg env (Expr.sub b (Expr.add a Expr.one))
+let in_half_open env x a = nonneg env x && lt env x a

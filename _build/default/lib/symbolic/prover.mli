@@ -1,0 +1,32 @@
+(** Side-condition prover (the paper's Z3 role).
+
+    Each Table-1 rewrite fires only when its side condition — a
+    non-negativity, upper-bound or non-zero check — holds.  The paper
+    discharges these with Z3 over the index ranges derived from the layout
+    specification; here a sound-but-incomplete decision procedure combines
+    the interval domain of {!Range} with the cancellation performed by
+    {!Expr}'s normal form (differences of syntactically equal terms vanish
+    before the interval query).  Failing to prove a true fact is safe: the
+    rewrite simply does not fire. *)
+
+type stats = { mutable queries : int; mutable proved : int }
+
+val stats : unit -> stats
+val global_stats : stats
+(** Shared counter reported by the Table-1 benchmark. *)
+
+val nonneg : Range.env -> Expr.t -> bool
+(** [nonneg env e]: is [0 <= e] valid under [env]? *)
+
+val positive : Range.env -> Expr.t -> bool
+val nonzero : Range.env -> Expr.t -> bool
+
+val le : Range.env -> Expr.t -> Expr.t -> bool
+(** [le env a b]: is [a <= b] valid?  Decided as [nonneg (b - a)] so that
+    common terms cancel. *)
+
+val lt : Range.env -> Expr.t -> Expr.t -> bool
+
+val in_half_open : Range.env -> Expr.t -> Expr.t -> bool
+(** [in_half_open env x a]: is [0 <= x < a] valid — the guard shared by
+    rules 3, 4 and 5 of Table 1? *)

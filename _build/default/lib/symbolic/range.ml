@@ -1,0 +1,132 @@
+type t = { lo : int; hi : int }
+
+let pinf = max_int / 2
+let ninf = -pinf
+
+let clamp v = if v >= pinf then pinf else if v <= ninf then ninf else v
+
+let sat_add a b =
+  (* Both inputs are within [ninf, pinf], so the exact sum fits in int. *)
+  clamp (a + b)
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else begin
+    (* Guard by division: the product of two 63-bit ints overflows even
+       Int64, so never multiply when the magnitude would exceed pinf. *)
+    let positive = a > 0 = (b > 0) in
+    if abs a > pinf / abs b then if positive then pinf else ninf
+    else clamp (a * b)
+  end
+
+let top = { lo = ninf; hi = pinf }
+let exact n = { lo = clamp n; hi = clamp n }
+
+let make ~lo ~hi =
+  if lo > hi then invalid_arg "Range.make: lo > hi";
+  { lo = clamp lo; hi = clamp hi }
+
+let of_extent n =
+  if n <= 0 then invalid_arg "Range.of_extent: extent must be positive";
+  make ~lo:0 ~hi:(n - 1)
+
+let is_bottom_free r = r.lo <= r.hi
+let contains r v = r.lo <= v && v <= r.hi
+
+let pp ppf r =
+  let bound v =
+    if v >= pinf then "+inf" else if v <= ninf then "-inf" else string_of_int v
+  in
+  Format.fprintf ppf "[%s, %s]" (bound r.lo) (bound r.hi)
+
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+let add a b = { lo = sat_add a.lo b.lo; hi = sat_add a.hi b.hi }
+
+let mul a b =
+  let products =
+    [ sat_mul a.lo b.lo; sat_mul a.lo b.hi; sat_mul a.hi b.lo;
+      sat_mul a.hi b.hi ]
+  in
+  {
+    lo = List.fold_left min pinf products;
+    hi = List.fold_left max ninf products;
+  }
+
+let fdiv = Lego_layout.Domain.floor_div
+
+let div a b =
+  if b.lo > 0 || b.hi < 0 then begin
+    (* Divisor sign is known; floor division is monotone in the dividend,
+       antitone in the divisor, so endpoints suffice.  Infinite endpoints
+       stay infinite (dividing by the smallest magnitude only shrinks). *)
+    let quotients =
+      List.concat_map
+        (fun x ->
+          List.map
+            (fun y -> if x >= pinf then (if y > 0 then pinf else ninf)
+              else if x <= ninf then (if y > 0 then ninf else pinf)
+              else fdiv x y)
+            [ b.lo; b.hi ])
+        [ a.lo; a.hi ]
+    in
+    {
+      lo = clamp (List.fold_left min pinf quotients);
+      hi = clamp (List.fold_left max ninf quotients);
+    }
+  end
+  else top (* divisor may be 0: evaluation raises, result unconstrained *)
+
+let rem a b =
+  if b.lo > 0 then
+    if a.lo >= 0 && a.hi < b.lo then a (* the mod is the identity *)
+    else { lo = 0; hi = clamp (b.hi - 1) }
+  else if b.hi < 0 then { lo = clamp (b.lo + 1); hi = 0 }
+  else top
+
+let boolean = { lo = 0; hi = 1 }
+
+let le a b =
+  if a.hi <= b.lo then exact 1 else if a.lo > b.hi then exact 0 else boolean
+
+let lt a b =
+  if a.hi < b.lo then exact 1 else if a.lo >= b.hi then exact 0 else boolean
+
+let eq a b =
+  if a.lo = a.hi && b.lo = b.hi && a.lo = b.lo then exact 1
+  else if a.hi < b.lo || b.hi < a.lo then exact 0
+  else boolean
+
+let isqrt a =
+  let hi = if a.hi >= pinf then pinf else Lego_layout.Domain.int_isqrt (max a.hi 0) in
+  let lo = if a.lo <= 0 then 0 else Lego_layout.Domain.int_isqrt a.lo in
+  { lo; hi }
+
+module StringMap = Map.Make (String)
+
+type env = t StringMap.t
+
+let empty_env = StringMap.empty
+let env_of_list l = StringMap.of_seq (List.to_seq l)
+let env_add = StringMap.add
+let env_find v env = Option.value ~default:top (StringMap.find_opt v env)
+let env_bindings env = StringMap.bindings env
+
+let rec of_expr env (e : Expr.t) =
+  match e with
+  | Const n -> exact n
+  | Var v -> env_find v env
+  | Add xs ->
+    List.fold_left (fun acc x -> add acc (of_expr env x)) (exact 0) xs
+  | Mul xs ->
+    List.fold_left (fun acc x -> mul acc (of_expr env x)) (exact 1) xs
+  | Div (a, b) -> div (of_expr env a) (of_expr env b)
+  | Mod (a, b) -> rem (of_expr env a) (of_expr env b)
+  | Select (c, a, b) ->
+    let rc = of_expr env c in
+    if rc.lo > 0 || rc.hi < 0 then of_expr env a
+    else if rc.lo = 0 && rc.hi = 0 then of_expr env b
+    else hull (of_expr env a) (of_expr env b)
+  | Le (a, b) -> le (of_expr env a) (of_expr env b)
+  | Lt (a, b) -> lt (of_expr env a) (of_expr env b)
+  | Eq (a, b) -> eq (of_expr env a) (of_expr env b)
+  | Isqrt a -> isqrt (of_expr env a)

@@ -1,0 +1,42 @@
+(** Interval (range) analysis for index expressions.
+
+    The paper derives the ranges of index variables from the layout
+    specification and propagates them through the generated expressions so
+    that the div/mod simplification side conditions can be discharged.
+    This module is that propagation: a classic saturating interval
+    domain. *)
+
+type t = { lo : int; hi : int }
+(** Inclusive bounds.  Values at or beyond {!pinf}/{!ninf} mean "unknown in
+    that direction"; all arithmetic saturates there. *)
+
+val pinf : int
+val ninf : int
+
+val top : t
+val exact : int -> t
+val make : lo:int -> hi:int -> t
+(** Raises [Invalid_argument] when [lo > hi]. *)
+
+val of_extent : int -> t
+(** [of_extent n] is [0 .. n-1] — the range of an index over a dimension
+    of extent [n]. *)
+
+val is_bottom_free : t -> bool
+val contains : t -> int -> bool
+val pp : Format.formatter -> t -> unit
+
+type env
+
+val empty_env : env
+val env_of_list : (string * t) list -> env
+val env_add : string -> t -> env -> env
+val env_find : string -> env -> t
+(** Unknown variables get {!top}. *)
+
+val env_bindings : env -> (string * t) list
+
+val of_expr : env -> Expr.t -> t
+(** Range of an expression under variable ranges [env].  Sound
+    over-approximation: evaluation under any environment consistent with
+    [env] (and not raising) lands in the result. *)

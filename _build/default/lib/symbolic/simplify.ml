@@ -1,0 +1,189 @@
+type stats = {
+  mutable r1 : int;
+  mutable r2 : int;
+  mutable r3 : int;
+  mutable r4 : int;
+  mutable r5 : int;
+  mutable extra : int;
+}
+
+let stats () = { r1 = 0; r2 = 0; r3 = 0; r4 = 0; r5 = 0; extra = 0 }
+let total s = s.r1 + s.r2 + s.r3 + s.r4 + s.r5 + s.extra
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "r1(mod-split)=%d r2(recombine)=%d r3(div-elim)=%d r4(mod-elim)=%d \
+     r5(div-split)=%d extra=%d"
+    s.r1 s.r2 s.r3 s.r4 s.r5 s.extra
+
+let terms (e : Expr.t) = match e with Add xs -> xs | e -> [ e ]
+
+(* Split the summands of [e] into [d*q] and [r]: terms whose integer
+   coefficient [d] divides (returned already divided) and the rest. *)
+let split_multiples d e =
+  let quotient, remainder =
+    List.partition_map
+      (fun t ->
+        let coeff, factors = Expr.as_linear_term t in
+        if coeff mod d = 0 then
+          Left (Expr.of_linear_term (coeff / d, factors))
+        else Right t)
+      (terms e)
+  in
+  (quotient, remainder)
+
+(* Rules 3 and 5 (and the unconditional pull-out). *)
+let rule_div ?stats env (a : Expr.t) (b : Expr.t) : Expr.t option =
+  let bump f = Option.iter f stats in
+  if Prover.in_half_open env a b then begin
+    bump (fun s -> s.r3 <- s.r3 + 1);
+    Some Expr.zero
+  end
+  else
+    match b with
+    | Expr.Const d when d > 1 -> (
+      match split_multiples d a with
+      | [], _ -> (
+        (* No multiples to pull out; try merging nested divisions. *)
+        match a with
+        | Expr.Div (x, Expr.Const d') when d' > 0 ->
+          bump (fun s -> s.extra <- s.extra + 1);
+          Some (Expr.div x (Expr.const (d * d')))
+        | _ -> None)
+      | quotient, remainder ->
+        let q = Expr.sum quotient and r = Expr.sum remainder in
+        if Prover.in_half_open env r b then begin
+          bump (fun s -> s.r5 <- s.r5 + 1);
+          Some q
+        end
+        else begin
+          (* floor((d*q + r)/d) = q + floor(r/d) for d > 0, any r. *)
+          bump (fun s -> s.extra <- s.extra + 1);
+          Some (Expr.add q (Expr.div r b))
+        end)
+    | _ -> None
+
+(* Rules 1 and 4. *)
+let rule_mod ?stats env (a : Expr.t) (b : Expr.t) : Expr.t option =
+  let bump f = Option.iter f stats in
+  if Prover.in_half_open env a b then begin
+    bump (fun s -> s.r4 <- s.r4 + 1);
+    Some a
+  end
+  else
+    match b with
+    | Expr.Const d when d > 1 -> (
+      match split_multiples d a with
+      | _ :: _, remainder ->
+        bump (fun s -> s.r1 <- s.r1 + 1);
+        Some (Expr.md (Expr.sum remainder) b)
+      | [], _ -> (
+        match a with
+        | Expr.Mod (x, Expr.Const d') when d' > 0 && d' mod d = 0 ->
+          (* (x mod d') mod d = x mod d when d | d'. *)
+          bump (fun s -> s.extra <- s.extra + 1);
+          Some (Expr.md x b)
+        | _ -> None))
+    | _ -> None
+
+(* Rule 2: a*(x/a) + x mod a -> x (coefficient-scaled form:
+   k*a*(x/a) + k*(x mod a) -> k*x). *)
+let rule_recombine ?stats env (summands : Expr.t list) : Expr.t list option =
+  let bump f = Option.iter f stats in
+  let arr = Array.of_list summands in
+  let n = Array.length arr in
+  let found = ref None in
+  let is_div_of x a (f : Expr.t) =
+    match f with
+    | Expr.Div (x', a') -> Expr.equal x x' && Expr.equal a a'
+    | _ -> false
+  in
+  for i = 0 to n - 1 do
+    if !found = None then
+      match Expr.as_linear_term arr.(i) with
+      | k, [ Expr.Mod (x, a) ] ->
+        let divisor_ok =
+          match a with
+          | Expr.Const ca -> ca <> 0
+          | _ -> Prover.nonzero env a
+        in
+        if divisor_ok then
+          for j = 0 to n - 1 do
+            if j <> i && !found = None then begin
+              let kj, factors = Expr.as_linear_term arr.(j) in
+              let matches =
+                match (a, factors) with
+                | Expr.Const ca, [ f ] -> is_div_of x a f && kj = k * ca
+                | _, [ f1; f2 ] ->
+                  kj = k
+                  && ((Expr.equal f1 a && is_div_of x a f2)
+                     || (Expr.equal f2 a && is_div_of x a f1))
+                | _ -> false
+              in
+              if matches then found := Some (i, j, k, x)
+            end
+          done
+      | _ -> ()
+  done;
+  match !found with
+  | None -> None
+  | Some (i, j, k, x) ->
+    bump (fun s -> s.r2 <- s.r2 + 1);
+    let rest =
+      List.filteri (fun idx _ -> idx <> i && idx <> j) summands
+    in
+    Some (Expr.mul (Expr.const k) x :: rest)
+
+(* Decide comparisons from ranges so selects collapse. *)
+let rule_compare ?stats env (e : Expr.t) : Expr.t option =
+  let bump f = Option.iter f stats in
+  let decide yes no =
+    if yes then begin
+      bump (fun s -> s.extra <- s.extra + 1);
+      Some Expr.one
+    end
+    else if no then begin
+      bump (fun s -> s.extra <- s.extra + 1);
+      Some Expr.zero
+    end
+    else None
+  in
+  match e with
+  | Expr.Le (a, b) -> decide (Prover.le env a b) (Prover.lt env b a)
+  | Expr.Lt (a, b) -> decide (Prover.lt env a b) (Prover.le env b a)
+  | Expr.Eq (a, b) ->
+    decide
+      (Prover.le env a b && Prover.le env b a)
+      (Prover.lt env a b || Prover.lt env b a)
+  | _ -> None
+
+let rewrite_node ?stats env (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Div (a, b) -> (
+    match rule_div ?stats env a b with Some e' -> e' | None -> e)
+  | Expr.Mod (a, b) -> (
+    match rule_mod ?stats env a b with Some e' -> e' | None -> e)
+  | Expr.Add xs -> (
+    match rule_recombine ?stats env xs with
+    | Some xs' -> Expr.sum xs'
+    | None -> e)
+  | Expr.Le _ | Expr.Lt _ | Expr.Eq _ -> (
+    match rule_compare ?stats env e with Some e' -> e' | None -> e)
+  | _ -> e
+
+let rec rewrite_once ?stats env e =
+  let e = Expr.map_children (rewrite_once ?stats env) e in
+  rewrite_node ?stats env e
+
+let simplify ?stats ~env e =
+  let fuel = ref 64 in
+  let cur = ref e in
+  let continue_ = ref true in
+  while !continue_ && !fuel > 0 do
+    decr fuel;
+    let next = rewrite_once ?stats env !cur in
+    if Expr.equal next !cur then continue_ := false else cur := next
+  done;
+  !cur
+
+let simplify_closed e = simplify ~env:Range.empty_env e

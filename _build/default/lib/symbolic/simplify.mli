@@ -1,0 +1,39 @@
+(** The five integer division/modulo rewrite rules of the paper's Table 1,
+    plus supporting structural rules, with side conditions discharged by
+    {!Prover} over layout-derived ranges.
+
+    | # | pattern                  | result    | condition      |
+    |---|--------------------------|-----------|----------------|
+    | 1 | [(d*q + r) mod d]        | [r mod d] | [d <> 0]       |
+    | 2 | [a*(x/a) + x mod a]      | [x]       | [a <> 0]       |
+    | 3 | [x / a]                  | [0]       | [0 <= x < a]   |
+    | 4 | [x mod a]                | [x]       | [0 <= x < a]   |
+    | 5 | [(d*q + r) / d]          | [q]       | [0 <= r < d]   |
+
+    Rules 1 and 5 match constant [d] by splitting a sum into the terms
+    whose coefficient [d] divides and the remainder.  When rule 5's bound
+    on the remainder cannot be proved, the weaker—but unconditionally
+    sound for [d > 0]—split [(d*q + r)/d -> q + r/d] is applied instead
+    (counted under [extra]). *)
+
+type stats = {
+  mutable r1 : int;
+  mutable r2 : int;
+  mutable r3 : int;
+  mutable r4 : int;
+  mutable r5 : int;
+  mutable extra : int;
+}
+
+val stats : unit -> stats
+val total : stats -> int
+val pp_stats : Format.formatter -> stats -> unit
+
+val rewrite_once : ?stats:stats -> Range.env -> Expr.t -> Expr.t
+(** One bottom-up pass applying every rule at every node. *)
+
+val simplify : ?stats:stats -> env:Range.env -> Expr.t -> Expr.t
+(** Iterate {!rewrite_once} to a fixpoint (bounded fuel). *)
+
+val simplify_closed : Expr.t -> Expr.t
+(** {!simplify} under the empty range environment. *)

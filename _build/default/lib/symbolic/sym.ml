@@ -1,0 +1,77 @@
+module L = Lego_layout
+
+module Dom = struct
+  type t = Expr.t
+
+  let const = Expr.const
+  let add = Expr.add
+  let sub = Expr.sub
+  let mul = Expr.mul
+  let div = Expr.div
+  let rem = Expr.md
+  let le = Expr.le
+  let lt = Expr.lt
+  let eq = Expr.eq
+  let select = Expr.select
+  let isqrt = Expr.isqrt
+  let pp = Expr.pp
+end
+
+let var_names ?(prefix = "i") g =
+  List.mapi
+    (fun k _ -> Printf.sprintf "%s%d" prefix k)
+    (L.Group_by.dims g)
+
+let index_vars ?prefix g = List.map Expr.var (var_names ?prefix g)
+
+let ranges_of ?prefix g =
+  Range.env_of_list
+    (List.map2
+       (fun name extent -> (name, Range.of_extent extent))
+       (var_names ?prefix g) (L.Group_by.dims g))
+
+let apply_to ?(simplify = true) ?(env = Range.empty_env) g idx =
+  let raw = L.Group_by.apply (module Dom) g idx in
+  if simplify then Simplify.simplify ~env raw else raw
+
+let apply ?simplify ?prefix g =
+  apply_to ?simplify ~env:(ranges_of ?prefix g) g (index_vars ?prefix g)
+
+let inv ?(simplify = true) ?(var = "p") ?(extra = Range.empty_env) g =
+  let env =
+    List.fold_left
+      (fun env (name, r) -> Range.env_add name r env)
+      (Range.env_add var (Range.of_extent (L.Group_by.numel g)) extra)
+      []
+  in
+  let env =
+    List.fold_left
+      (fun env (name, r) -> Range.env_add name r env)
+      env (Range.env_bindings extra)
+  in
+  let raw = L.Group_by.inv (module Dom) g (Expr.var var) in
+  if simplify then List.map (Simplify.simplify ~env) raw else raw
+
+let check_roundtrip g ~samples =
+  let dims = L.Group_by.dims g in
+  let names = var_names g in
+  let sym = apply g in
+  let state = Random.State.make [| 0x1e60; List.length dims; samples |] in
+  let rec go k =
+    if k >= samples then Ok ()
+    else begin
+      let idx = List.map (fun n -> Random.State.int state n) dims in
+      let bindings = List.combine names idx in
+      let env name = List.assoc name bindings in
+      let expect = L.Group_by.apply_ints g idx in
+      let got = Expr.eval ~env sym in
+      if got <> expect then
+        Error
+          (Printf.sprintf
+             "symbolic apply disagrees at [%s]: symbolic %d, concrete %d"
+             (String.concat ", " (List.map string_of_int idx))
+             got expect)
+      else go (k + 1)
+    end
+  in
+  go 0

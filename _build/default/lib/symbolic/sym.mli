@@ -1,0 +1,53 @@
+(** Symbolic instantiation of the layout algebra.
+
+    [Dom] makes {!Expr.t} an index domain, so every layout's [apply]/[inv]
+    can be evaluated over symbolic indices to yield the index {e
+    expressions} the paper's code generators print.  The helpers here also
+    derive the range environment from the layout specification — the
+    information the paper's custom SymPy traversal and Z3 queries rely
+    on. *)
+
+module Dom : Lego_layout.Domain.S with type t = Expr.t
+
+val index_vars : ?prefix:string -> Lego_layout.Group_by.t -> Expr.t list
+(** Fresh symbolic index components [i0, i1, ...] (or [prefix0, ...]) for
+    each logical dimension of the layout. *)
+
+val ranges_of :
+  ?prefix:string -> Lego_layout.Group_by.t -> Range.env
+(** Each logical index component ranges over [0 .. extent - 1]; this is
+    the paper's "range information propagated through the layout". *)
+
+val apply :
+  ?simplify:bool ->
+  ?prefix:string ->
+  Lego_layout.Group_by.t ->
+  Expr.t
+(** [apply g] is the symbolic physical offset of the logical index
+    [prefix0, ..., prefix(d-1)], simplified under {!ranges_of} unless
+    [simplify:false]. *)
+
+val apply_to :
+  ?simplify:bool ->
+  ?env:Range.env ->
+  Lego_layout.Group_by.t ->
+  Expr.t list ->
+  Expr.t
+(** Apply to caller-supplied symbolic components (e.g. a mix of variables
+    and constants); the environment defaults to empty. *)
+
+val inv :
+  ?simplify:bool ->
+  ?var:string ->
+  ?extra:Range.env ->
+  Lego_layout.Group_by.t ->
+  Expr.t list
+(** [inv g] is the symbolic logical index of physical offset [var]
+    (default ["p"], ranged over [0 .. numel-1]).  [extra] adds variable
+    ranges for free variables of user pieces. *)
+
+val check_roundtrip :
+  Lego_layout.Group_by.t -> samples:int -> (unit, string) result
+(** Cross-validate: the simplified symbolic [apply] evaluated on [samples]
+    random concrete indices must agree with the integer-domain [apply]
+    (a differential test of engine + simplifier + prover). *)

@@ -1,0 +1,1 @@
+test/test_affine.ml: Alcotest Check Gallery Group_by Lego_codegen Lego_layout Lego_symbolic List Order_by Printf QCheck2 QCheck_alcotest Str Sugar

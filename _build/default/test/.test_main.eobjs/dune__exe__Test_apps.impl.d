@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Group_gemm Lego_apps Lego_gpusim Lego_layout List Matmul Nw Printf Softmax Transpose

@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Array Lego_gpusim Mem Metrics Printf Simt

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Check Gallery Group_by Lego_lang Lego_layout List Order_by Piece QCheck2 QCheck_alcotest Sigma Str Sugar

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Check Format Fun Gallery Group_by Lego_layout List Order_by Piece Printf QCheck2 QCheck_alcotest Shape Sigma Sugar

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_affine Test_apps Test_codegen Test_gpusim Test_lang Test_layout Test_symbolic

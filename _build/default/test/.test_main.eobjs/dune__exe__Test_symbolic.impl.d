@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Cost Expand Expr Lego_layout Lego_symbolic List Printf Prover QCheck2 QCheck_alcotest Range Simplify Sym

@@ -1,0 +1,160 @@
+(* Tests for the stride derivation of section 3.3 (LEGO -> CuTe/Graphene
+   shape:stride descriptions) and for partial-tile padding + masks. *)
+
+open Lego_layout
+module A = Lego_symbolic.Affine
+module E = Lego_symbolic.Expr
+module T = Lego_codegen.Triton_printer
+
+let test_eq6_strides () =
+  (* The paper's equation 6: tiling a row-major 6x6 into 3x3 blocks gives
+     B: (2,2):(18,3) . (3,3):(6,1) — as a 4-D stride table,
+     (2,2,3,3):(18,3,6,1). *)
+  let g = Sugar.tiled_view ~group:[ [ 2; 2 ]; [ 3; 3 ] ] () in
+  match A.of_layout g with
+  | None -> Alcotest.fail "tiled view should be affine"
+  | Some t ->
+    Alcotest.(check string) "CuTe rendering" "(2, 2, 3, 3):(18, 3, 6, 1)"
+      (A.to_cute t);
+    Alcotest.(check (result unit string)) "validated" (Ok ()) (A.check g t)
+
+let test_col_major_strides () =
+  let g =
+    Sugar.tiled_view ~order:[ Sugar.col [ 4; 6 ] ] ~group:[ [ 4; 6 ] ] ()
+  in
+  match A.of_layout g with
+  | None -> Alcotest.fail "column-major is affine"
+  | Some t ->
+    Alcotest.(check string) "strides" "(4, 6):(1, 4)" (A.to_cute t)
+
+let test_nonaffine_rejected () =
+  (* Anti-diagonal and Morton orders lie outside the stride algebra —
+     the paper's expressiveness argument. *)
+  let antidiag =
+    Group_by.make ~chain:[ Order_by.make [ Gallery.antidiag 4 ] ] [ [ 4; 4 ] ]
+  in
+  Alcotest.(check bool) "antidiag has no strides" true
+    (A.of_layout antidiag = None);
+  let morton =
+    Group_by.make
+      ~chain:[ Order_by.make [ Gallery.morton ~d:2 ~bits:2 ] ]
+      [ [ 4; 4 ] ]
+  in
+  Alcotest.(check bool) "morton has no strides" true (A.of_layout morton = None)
+
+let test_linearize () =
+  let e = E.(add (mul (const 6) (var "i0")) (add (var "i1") (const 5))) in
+  (match A.linearize ~vars:[ "i0"; "i1" ] e with
+  | Some (5, [ ("i0", 6); ("i1", 1) ]) -> ()
+  | _ -> Alcotest.fail "linearize affine");
+  Alcotest.(check bool) "division is not affine" true
+    (A.linearize ~vars:[ "i0" ] E.(div (var "i0") (const 2)) = None);
+  Alcotest.(check bool) "foreign variable rejected" true
+    (A.linearize ~vars:[ "i0" ] (E.var "j") = None)
+
+let prop_affine_strides_correct =
+  QCheck2.Test.make ~name:"derived strides reproduce the layout" ~count:100
+    QCheck2.Gen.(
+      quad (int_range 1 3) (int_range 1 3) (int_range 1 4) (int_range 1 4))
+    (fun (tm, tk, bm, bk) ->
+      let g = Sugar.tiled_view ~group:[ [ tm; tk ]; [ bm; bk ] ] () in
+      match A.of_layout g with
+      | None -> false
+      | Some t -> A.check g t = Ok ())
+
+(* --- Partial tiles and masks ------------------------------------------ *)
+
+let test_padded_view () =
+  let view, extents = Sugar.padded_tiled_view ~dims:[ 100; 50 ] ~tile:[ 32; 16 ] () in
+  Alcotest.(check (list int)) "true extents kept" [ 100; 50 ] extents;
+  Alcotest.(check (list int))
+    "padded tiled dims" [ 4; 4; 32; 16 ]
+    (Group_by.dims view);
+  Alcotest.(check (result unit string))
+    "padded space is a bijection" (Ok ()) (Check.layout view);
+  (* In-bounds offsets match the unpadded row-major space padded to 128x64. *)
+  Alcotest.(check int) "offset of (33, 17)" ((33 * 64) + 17)
+    (Group_by.apply_ints view [ 33 / 32; 17 / 16; 33 mod 32; 17 mod 16 ])
+
+let test_slice_mask () =
+  let _view, extents =
+    Sugar.padded_tiled_view ~dims:[ 100; 50 ] ~tile:[ 32; 16 ] ()
+  in
+  let group = [ [ 4; 4 ]; [ 32; 16 ] ] in
+  let mask =
+    T.slice_mask ~group ~extents
+      [ T.Fix (E.var "pid_m"); T.Fix (E.var "k"); T.All; T.All ]
+  in
+  match mask with
+  | None -> Alcotest.fail "padding requires a mask"
+  | Some m ->
+    List.iter
+      (fun fragment ->
+        if not (Str.string_match (Str.regexp (".*" ^ Str.quote fragment ^ ".*")) m 0)
+        then Alcotest.failf "mask %S lacks %S" m fragment)
+      [ "< 100"; "< 50"; "tl.arange(0, 32)[:, None]"; "tl.arange(0, 16)[None, :]"; " & " ]
+
+let test_no_mask_when_divisible () =
+  let _view, extents =
+    Sugar.padded_tiled_view ~dims:[ 128; 64 ] ~tile:[ 32; 16 ] ()
+  in
+  Alcotest.(check bool) "no padding, no mask" true
+    (T.slice_mask ~group:[ [ 4; 4 ]; [ 32; 16 ] ] ~extents
+       [ T.Fix (E.var "pid_m"); T.Fix (E.var "k"); T.All; T.All ]
+    = None)
+
+let test_mask_semantics () =
+  (* The mask expression evaluated over all tile cells is exactly the
+     in-bounds predicate. *)
+  let dims = [ 10; 7 ] in
+  let coord_ok pid_m pid_n tm tn =
+    let i = (pid_m * 4) + tm and j = (pid_n * 4) + tn in
+    i < List.nth dims 0 && j < List.nth dims 1
+  in
+  (* Rebuild the mask as an expression (what slice_mask renders) and
+     compare against the predicate. *)
+  let mask_expr =
+    E.(
+      mul
+        (lt
+           (add (mul (const 4) (var "pid_m")) (var "tm"))
+           (const (List.nth dims 0)))
+        (lt
+           (add (mul (const 4) (var "pid_n")) (var "tn"))
+           (const (List.nth dims 1))))
+  in
+  for pid_m = 0 to 2 do
+    for pid_n = 0 to 1 do
+      for tm = 0 to 3 do
+        for tn = 0 to 3 do
+          let env = function
+            | "pid_m" -> pid_m
+            | "pid_n" -> pid_n
+            | "tm" -> tm
+            | "tn" -> tn
+            | _ -> 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "(%d,%d,%d,%d)" pid_m pid_n tm tn)
+            (coord_ok pid_m pid_n tm tn)
+            (E.eval ~env mask_expr <> 0)
+        done
+      done
+    done
+  done
+
+let suite =
+  ( "affine",
+    [
+      Alcotest.test_case "equation 6 strides" `Quick test_eq6_strides;
+      Alcotest.test_case "column-major strides" `Quick test_col_major_strides;
+      Alcotest.test_case "non-affine layouts rejected" `Quick
+        test_nonaffine_rejected;
+      Alcotest.test_case "linearize" `Quick test_linearize;
+      Alcotest.test_case "padded tiled view" `Quick test_padded_view;
+      Alcotest.test_case "slice masks" `Quick test_slice_mask;
+      Alcotest.test_case "no mask when divisible" `Quick
+        test_no_mask_when_divisible;
+      Alcotest.test_case "mask semantics" `Quick test_mask_semantics;
+    ]
+    @ [ QCheck_alcotest.to_alcotest ~long:false prop_affine_strides_correct ] )

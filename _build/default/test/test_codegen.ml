@@ -1,0 +1,253 @@
+(* Tests for template instantiation, the C and Triton printers, CSE and
+   the MLIR emitter (validated through the mini-MLIR interpreter). *)
+
+open Lego_layout
+open Lego_symbolic
+module CG = Lego_codegen
+module E = Expr
+
+let check_str = Alcotest.(check string)
+
+(* --- Template engine --------------------------------------------------- *)
+
+let test_template_render () =
+  let tpl = "a_ptrs = a_ptr + {{ la_optr }}\nb_ptrs = b_ptr + {{lb_optr}}\n" in
+  Alcotest.(check (list string))
+    "placeholders" [ "la_optr"; "lb_optr" ]
+    (CG.Template.placeholders tpl);
+  check_str "rendered" "a_ptrs = a_ptr + X\nb_ptrs = b_ptr + Y\n"
+    (CG.Template.render_exn
+       ~bindings:[ ("la_optr", "X"); ("lb_optr", "Y") ]
+       tpl);
+  match CG.Template.render ~bindings:[ ("la_optr", "X") ] tpl with
+  | Ok _ -> Alcotest.fail "missing binding not reported"
+  | Error msg ->
+    Alcotest.(check bool) "names the hole" true
+      (Str.string_match (Str.regexp ".*lb_optr.*") msg 0)
+
+(* --- C printer --------------------------------------------------------- *)
+
+let test_c_printer () =
+  let e = E.(add (mul (const 3) (var "i")) (div (var "j") (const 2))) in
+  check_str "C text" "3 * i + j / 2" (CG.C_printer.expr e);
+  check_str "define" "int off = 3 * i + j / 2;" (CG.C_printer.define ~name:"off" e);
+  let f = CG.C_printer.function_def ~name:"f" ~params:[ "i"; "j" ] e in
+  Alcotest.(check bool) "device helper" true
+    (Str.string_match (Str.regexp ".*__device__.*") f 0)
+
+let test_c_guard () =
+  let env = Range.env_of_list [ ("i", Range.of_extent 10) ] in
+  Alcotest.(check (result unit string))
+    "nonneg dividend passes" (Ok ())
+    (CG.C_printer.guard_nonneg ~env E.(div (var "i") (const 2)));
+  (match
+     CG.C_printer.guard_nonneg ~env E.(div (sub (var "i") (const 100)) (const 2))
+   with
+  | Ok () -> Alcotest.fail "negative dividend should be rejected"
+  | Error _ -> ())
+
+let test_c_precedence_eval () =
+  (* The printed text must re-evaluate to the same value (via a tiny
+     re-parse through the MLIR pipeline is overkill; spot-check parens). *)
+  let e = E.(mul (add (var "i") (const 1)) (var "k")) in
+  check_str "parens kept" "k * (1 + i)" (CG.C_printer.expr e)
+
+(* --- Triton printer ---------------------------------------------------- *)
+
+let test_triton_slices () =
+  let dl = Sugar.tiled_view ~group:[ [ 8; 4 ]; [ 16; 32 ] ] () in
+  let env =
+    Range.env_of_list
+      [ ("lpid_m", Range.of_extent 8); ("k", Range.of_extent 4) ]
+  in
+  let s =
+    CG.Triton_printer.slice_offset ~env dl
+      [ Fix (E.var "lpid_m"); Fix (E.var "k"); All; All ]
+  in
+  check_str "tile pointer"
+    "tl.arange(0, 32)[None, :] + 32 * k + 128 * tl.arange(0, 16)[:, None] + \
+     2048 * lpid_m"
+    s
+
+let test_triton_single_slice () =
+  let dl = Sugar.tiled_view ~group:[ [ 4; 8 ] ] () in
+  let s = CG.Triton_printer.slice_offset dl [ Fix (E.var "row"); All ] in
+  check_str "1-D slice has no broadcast suffix" "tl.arange(0, 8) + 8 * row" s
+
+let test_triton_slice_errors () =
+  let dl = Sugar.tiled_view ~group:[ [ 2; 2; 2 ] ] () in
+  Alcotest.check_raises "3 slices rejected"
+    (Invalid_argument
+       "Triton_printer.slice_offset: at most two sliced dimensions supported")
+    (fun () -> ignore (CG.Triton_printer.slice_offset dl [ All; All; All ]))
+
+(* --- CSE ---------------------------------------------------------------- *)
+
+let test_cse_dedups () =
+  let shared = E.(mul (var "i") (const 6)) in
+  let instrs, roots =
+    CG.Cse.lower [ E.(add shared (var "j")); E.(add shared (const 1)) ]
+  in
+  Alcotest.(check int) "three instructions (mul shared once)" 3
+    (List.length instrs);
+  Alcotest.(check int) "two roots" 2 (List.length roots)
+
+let gen_small_expr =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof [ return (E.var "i"); return (E.var "j"); map E.const (int_range 0 9) ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        let sub = self (depth - 1) in
+        oneof
+          [
+            leaf;
+            map2 E.add sub sub;
+            map2 E.mul sub (map E.const (int_range 1 5));
+            map (fun e -> E.div e (E.const 3)) sub;
+            map (fun e -> E.md e (E.const 4)) sub;
+            map3 E.select (map2 E.lt sub sub) sub sub;
+          ])
+    3
+
+let prop_cse_eval =
+  QCheck2.Test.make ~name:"CSE three-address form evaluates identically"
+    ~count:300
+    QCheck2.Gen.(triple gen_small_expr (int_bound 50) (int_bound 50))
+    (fun (e, iv, jv) ->
+      let env = function "i" -> iv | "j" -> jv | _ -> 0 in
+      let instrs, roots = CG.Cse.lower [ e ] in
+      CG.Cse.eval ~env instrs roots = [ E.eval ~env e ])
+
+(* --- MLIR emitter + interpreter ---------------------------------------- *)
+
+let test_mlir_index_func () =
+  let g =
+    Group_by.make ~chain:[ Order_by.make [ Gallery.antidiag 9 ] ] [ [ 9; 9 ] ]
+  in
+  let text = CG.Mlir_gen.layout_apply_func ~name:"off" g in
+  let m = Lego_mlirsim.Mparser.parse_module text in
+  for i = 0 to 8 do
+    for j = 0 to 8 do
+      Alcotest.(check (list int))
+        (Printf.sprintf "(%d,%d)" i j)
+        [ Group_by.apply_ints g [ i; j ] ]
+        (Lego_mlirsim.Minterp.run_func m "off" [ Int i; Int j ])
+    done
+  done
+
+let test_mlir_inv_func () =
+  let g = Sugar.tiled_view ~group:[ [ 3; 4 ]; [ 2; 2 ] ] () in
+  let text = CG.Mlir_gen.layout_inv_func ~name:"inv" g in
+  let m = Lego_mlirsim.Mparser.parse_module text in
+  for p = 0 to Group_by.numel g - 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "p=%d" p)
+      (Group_by.inv_ints g p)
+      (Lego_mlirsim.Minterp.run_func m "inv" [ Int p ])
+  done
+
+let test_mlir_copy_transpose () =
+  let m_ = 6 and n_ = 4 in
+  let src_l = Sugar.tiled_view ~group:[ [ m_; n_ ] ] () in
+  let dst_l =
+    Sugar.tiled_view ~order:[ Sugar.col [ m_; n_ ] ] ~group:[ [ m_; n_ ] ] ()
+  in
+  let text =
+    CG.Mlir_gen.copy_func ~name:"transpose"
+      ~src_offset:(Sym.apply src_l) ~dst_offset:(Sym.apply dst_l)
+      ~dims:[ m_; n_ ]
+  in
+  let m = Lego_mlirsim.Mparser.parse_module text in
+  let src = Array.init (m_ * n_) Fun.id in
+  let dst = Array.make (m_ * n_) (-1) in
+  ignore (Lego_mlirsim.Minterp.run_func m "transpose" [ Mem src; Mem dst ]);
+  for i = 0 to m_ - 1 do
+    for j = 0 to n_ - 1 do
+      Alcotest.(check int)
+        (Printf.sprintf "(%d,%d)" i j)
+        src.((i * n_) + j)
+        dst.((j * m_) + i)
+    done
+  done
+
+let gen_layout_for_mlir =
+  let open QCheck2.Gen in
+  let* d1 = oneofl [ 2; 3; 4 ] and* d2 = oneofl [ 2; 3; 4 ] in
+  let* sigma = oneofl (Sigma.all 2) in
+  let* use_antidiag = bool in
+  let piece =
+    if use_antidiag && d1 = d2 then Gallery.antidiag d1
+    else Piece.reg ~dims:[ d1; d2 ] ~sigma
+  in
+  return (Group_by.make ~chain:[ Order_by.make [ piece ] ] [ [ d1; d2 ] ])
+
+let prop_mlir_roundtrip =
+  QCheck2.Test.make ~name:"MLIR emit/parse/interp == apply_ints" ~count:60
+    gen_layout_for_mlir (fun g ->
+      let text = CG.Mlir_gen.layout_apply_func ~name:"f" g in
+      let m = Lego_mlirsim.Mparser.parse_module text in
+      Seq.for_all
+        (fun idx ->
+          Lego_mlirsim.Minterp.run_func m "f"
+            (List.map (fun i -> Lego_mlirsim.Minterp.Int i) idx)
+          = [ Group_by.apply_ints g idx ])
+        (Shape.indices (Group_by.dims g)))
+
+(* --- MLIR parser errors ------------------------------------------------- *)
+
+let test_mlir_parse_errors () =
+  (match Lego_mlirsim.Mparser.parse_module_result "module {\n  garbage\n}" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error msg ->
+    Alcotest.(check bool) "position reported" true
+      (Str.string_match (Str.regexp "line 2:.*") msg 0));
+  match
+    Lego_mlirsim.Mparser.parse_module_result
+      "module {\n  func.func @f(%i: index) -> (index) {\n    %t = arith.xori \
+       %i, %i : index\n    return %t : index\n  }\n}"
+  with
+  | Ok _ -> Alcotest.fail "unknown op accepted"
+  | Error _ -> ()
+
+let test_mlir_interp_errors () =
+  let text =
+    "module {\n\
+    \  func.func @f(%m: memref<?xindex>) {\n\
+    \    %c9 = arith.constant 9 : index\n\
+    \    %v = memref.load %m[%c9] : memref<?xindex>\n\
+    \    return\n\
+    \  }\n\
+     }"
+  in
+  let m = Lego_mlirsim.Mparser.parse_module text in
+  Alcotest.check_raises "out of bounds"
+    (Lego_mlirsim.Minterp.Runtime_error
+       "load out of bounds: %m[9] (size 4)")
+    (fun () ->
+      ignore (Lego_mlirsim.Minterp.run_func m "f" [ Mem (Array.make 4 0) ]))
+
+let suite =
+  ( "codegen",
+    [
+      Alcotest.test_case "template render" `Quick test_template_render;
+      Alcotest.test_case "C printer" `Quick test_c_printer;
+      Alcotest.test_case "C floor-division guard" `Quick test_c_guard;
+      Alcotest.test_case "C precedence" `Quick test_c_precedence_eval;
+      Alcotest.test_case "Triton 2-D slices" `Quick test_triton_slices;
+      Alcotest.test_case "Triton 1-D slice" `Quick test_triton_single_slice;
+      Alcotest.test_case "Triton slice errors" `Quick test_triton_slice_errors;
+      Alcotest.test_case "CSE dedups" `Quick test_cse_dedups;
+      Alcotest.test_case "MLIR index func" `Quick test_mlir_index_func;
+      Alcotest.test_case "MLIR inverse func" `Quick test_mlir_inv_func;
+      Alcotest.test_case "MLIR scf.for transpose" `Quick
+        test_mlir_copy_transpose;
+      Alcotest.test_case "MLIR parse errors" `Quick test_mlir_parse_errors;
+      Alcotest.test_case "MLIR interp errors" `Quick test_mlir_interp_errors;
+    ]
+    @ List.map
+        (QCheck_alcotest.to_alcotest ~long:false)
+        [ prop_cse_eval; prop_mlir_roundtrip ] )

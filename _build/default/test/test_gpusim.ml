@@ -1,0 +1,188 @@
+(* Tests for the SIMT simulator: memory model, coalescing, bank
+   conflicts, barriers, divergence, sampling, and the roofline metrics. *)
+
+open Lego_gpusim
+
+let run1 ?(grid = (1, 1)) ?(block = (32, 1)) ?(smem_words = 0) body =
+  Simt.run ~grid ~block ~smem_words body
+
+let test_buffer_basics () =
+  let b = Mem.init Mem.F32 8 float_of_int in
+  Alcotest.(check int) "length" 8 (Mem.length b);
+  Mem.set b 3 42.0;
+  Alcotest.(check (float 0.0)) "get/set" 42.0 (Mem.get b 3);
+  Alcotest.(check (float 0.0)) "diff" 39.0
+    (Mem.max_abs_diff b (Array.init 8 float_of_int))
+
+let test_coalesced_load () =
+  let src = Mem.create Mem.F32 32 in
+  let r = run1 (fun ctx -> ignore (Simt.gload src ctx.Simt.tx)) in
+  (* 32 consecutive 4-byte loads = 128 bytes = 4 transactions of 32B. *)
+  Alcotest.(check (float 0.0)) "txns" 4.0 r.Simt.counters.g_txns;
+  Alcotest.(check (float 0.0)) "bytes" 128.0 r.Simt.counters.g_bytes
+
+let test_strided_load () =
+  let src = Mem.create Mem.F32 (32 * 8) in
+  let r = run1 (fun ctx -> ignore (Simt.gload src (ctx.Simt.tx * 8))) in
+  (* Stride 8 elements = 32 bytes: every lane its own transaction. *)
+  Alcotest.(check (float 0.0)) "txns" 32.0 r.Simt.counters.g_txns
+
+let test_broadcast_load () =
+  let src = Mem.create Mem.F32 4 in
+  let r = run1 (fun _ -> ignore (Simt.gload src 0)) in
+  Alcotest.(check (float 0.0)) "single txn" 1.0 r.Simt.counters.g_txns
+
+let test_dtype_width_affects_txns () =
+  let half = Mem.create Mem.F16 64 in
+  let r = run1 (fun ctx -> ignore (Simt.gload half ctx.Simt.tx)) in
+  (* 32 consecutive 2-byte loads = 64 bytes = 2 transactions. *)
+  Alcotest.(check (float 0.0)) "txns" 2.0 r.Simt.counters.g_txns
+
+let test_bank_conflicts () =
+  let degree stride =
+    let r =
+      run1 ~smem_words:1024 (fun ctx ->
+          Simt.sstore (ctx.Simt.tx * stride mod 1024) 1.0)
+    in
+    r.Simt.counters.s_cycles
+  in
+  Alcotest.(check (float 0.0)) "stride 1: conflict-free" 1.0 (degree 1);
+  Alcotest.(check (float 0.0)) "stride 2: 2-way" 2.0 (degree 2);
+  Alcotest.(check (float 0.0)) "stride 16: 16-way" 16.0 (degree 16);
+  Alcotest.(check (float 0.0)) "stride 32: fully serialized" 32.0 (degree 32)
+
+let test_broadcast_shared_free () =
+  let r = run1 ~smem_words:4 (fun _ -> ignore (Simt.sload 0)) in
+  Alcotest.(check (float 0.0)) "broadcast is one cycle" 1.0
+    r.Simt.counters.s_cycles
+
+let test_barrier_orders_memory () =
+  (* Producer threads fill shared memory; all threads read a neighbour's
+     slot after the barrier.  Without barrier semantics the read of slot
+     (tx+1) mod 32 could see a stale zero. *)
+  let out = Mem.create Mem.F32 32 in
+  ignore
+    (run1 ~smem_words:32 (fun ctx ->
+         let tx = ctx.Simt.tx in
+         Simt.sstore tx (float_of_int (tx * 10));
+         Simt.sync ();
+         Simt.gstore out tx (Simt.sload ((tx + 1) mod 32))));
+  for tx = 0 to 31 do
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "slot %d" tx)
+      (float_of_int ((tx + 1) mod 32 * 10))
+      (Mem.get out tx)
+  done
+
+let test_divergent_threads_complete () =
+  (* Odd threads do extra work; everybody must still finish and the
+     barrier must hold with partial arrival sets per round. *)
+  let out = Mem.create Mem.F32 32 in
+  ignore
+    (run1 ~smem_words:32 (fun ctx ->
+         let tx = ctx.Simt.tx in
+         if tx mod 2 = 1 then begin
+           Simt.sstore tx 1.0;
+           Simt.sstore tx 2.0
+         end;
+         Simt.sync ();
+         Simt.gstore out tx (if tx mod 2 = 1 then Simt.sload tx else -1.0)));
+  Alcotest.(check (float 0.0)) "odd wrote" 2.0 (Mem.get out 1);
+  Alcotest.(check (float 0.0)) "even skipped" (-1.0) (Mem.get out 0)
+
+let test_out_of_bounds_rejected () =
+  let src = Mem.create ~label:"small" Mem.F32 4 in
+  Alcotest.check_raises "global OOB"
+    (Invalid_argument "Simt: buffer \"small\" access 4 outside 0..3")
+    (fun () -> ignore (run1 (fun _ -> ignore (Simt.gload src 4))));
+  Alcotest.check_raises "shared OOB"
+    (Invalid_argument "Simt: shared access 8 outside 0..7") (fun () ->
+      ignore (run1 ~smem_words:8 (fun _ -> Simt.sstore 8 0.0)))
+
+let test_sampling_scales_counters () =
+  let src = Mem.create Mem.F32 (64 * 32) in
+  let body ctx =
+    ignore (Simt.gload src ((ctx.Simt.bx * 32) + ctx.Simt.tx))
+  in
+  let full = Simt.run ~grid:(64, 1) ~block:(32, 1) ~smem_words:0 body in
+  let sampled =
+    Simt.run ~sample_blocks:4 ~grid:(64, 1) ~block:(32, 1) ~smem_words:0 body
+  in
+  Alcotest.(check int) "simulated subset" 4 sampled.Simt.blocks_simulated;
+  Alcotest.(check (float 1e-9))
+    "scaled bytes equal full bytes" full.Simt.counters.g_bytes
+    sampled.Simt.counters.g_bytes
+
+let test_flops_rates () =
+  let r =
+    run1 (fun _ ->
+        Simt.flops Mem.F32 10;
+        Simt.flops ~tensor:true Mem.F16 100)
+  in
+  (* Per-thread counts sum across the 32-lane warp. *)
+  Alcotest.(check (float 0.0)) "fp32" 320.0 r.Simt.counters.flops_fp32;
+  Alcotest.(check (float 0.0)) "tensor fp16" 3200.0
+    r.Simt.counters.flops_tensor_fp16
+
+let test_block_limits () =
+  Alcotest.check_raises "too many threads"
+    (Invalid_argument "Simt.run: block exceeds device thread limit")
+    (fun () ->
+      ignore (Simt.run ~grid:(1, 1) ~block:(64, 64) ~smem_words:0 (fun _ -> ())))
+
+let test_metrics_roofline () =
+  (* A memory-only kernel is DRAM-bound; adding huge flops makes it
+     compute-bound; times are monotone in the dominant term. *)
+  let src = Mem.create Mem.F32 (1 lsl 16) in
+  let mem_kernel ctx =
+    for l = 0 to 63 do
+      ignore (Simt.gload src ((ctx.Simt.bx * 2048) + (l * 32) + ctx.Simt.tx))
+    done
+  in
+  let r1 = Simt.run ~grid:(32, 1) ~block:(32, 1) ~smem_words:0 mem_kernel in
+  let b1 = Metrics.breakdown r1 in
+  Alcotest.(check bool) "dram beats issue" true
+    (b1.Metrics.dram_s >= b1.Metrics.issue_s || b1.Metrics.dram_s > 0.0);
+  let compute_kernel _ = Simt.flops ~tensor:true Mem.F16 (1 lsl 22) in
+  let r2 = Simt.run ~grid:(32, 1) ~block:(32, 1) ~smem_words:0 compute_kernel in
+  let b2 = Metrics.breakdown r2 in
+  Alcotest.(check bool) "compute dominates" true
+    (b2.Metrics.compute_s > b2.Metrics.dram_s);
+  Alcotest.(check bool) "total includes launch" true
+    (b2.Metrics.total_s > b2.Metrics.compute_s)
+
+let test_occupancy_penalty () =
+  (* The same per-block work on a 1-block grid must not be faster than on
+     a grid that fills the machine (per-block time comparison). *)
+  let body _ = Simt.flops Mem.F32 (1 lsl 18) in
+  let small = Simt.run ~grid:(1, 1) ~block:(256, 1) ~smem_words:0 body in
+  let large =
+    Simt.run ~sample_blocks:2 ~grid:(1080, 1) ~block:(256, 1) ~smem_words:0 body
+  in
+  let t_small = Metrics.time_s small in
+  let t_large_per_block =
+    Metrics.time_s large /. 1080.0
+  in
+  Alcotest.(check bool) "full grid amortizes better" true
+    (t_large_per_block < t_small)
+
+let suite =
+  ( "gpusim",
+    [
+      Alcotest.test_case "buffers" `Quick test_buffer_basics;
+      Alcotest.test_case "coalesced loads" `Quick test_coalesced_load;
+      Alcotest.test_case "strided loads" `Quick test_strided_load;
+      Alcotest.test_case "broadcast load" `Quick test_broadcast_load;
+      Alcotest.test_case "dtype width" `Quick test_dtype_width_affects_txns;
+      Alcotest.test_case "bank conflicts" `Quick test_bank_conflicts;
+      Alcotest.test_case "shared broadcast" `Quick test_broadcast_shared_free;
+      Alcotest.test_case "barrier memory ordering" `Quick
+        test_barrier_orders_memory;
+      Alcotest.test_case "divergence" `Quick test_divergent_threads_complete;
+      Alcotest.test_case "bounds checks" `Quick test_out_of_bounds_rejected;
+      Alcotest.test_case "block sampling" `Quick test_sampling_scales_counters;
+      Alcotest.test_case "flop categories" `Quick test_flops_rates;
+      Alcotest.test_case "block limits" `Quick test_block_limits;
+      Alcotest.test_case "roofline metrics" `Quick test_metrics_roofline;
+      Alcotest.test_case "occupancy penalty" `Quick test_occupancy_penalty;
+    ] )

@@ -1,0 +1,108 @@
+(* Tests for the surface language: lexer, parser, elaboration, and the
+   pretty-printer/parser round-trip. *)
+
+open Lego_layout
+
+let parse_ok text =
+  match Lego_lang.Elab.layout_of_string text with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "parse %S failed: %s" text e
+
+let test_lexer () =
+  let tokens = Lego_lang.Lexer.tokenize "OrderBy2([6, 6])." in
+  Alcotest.(check int) "token count" 10 (List.length tokens);
+  (match tokens with
+  | { Lego_lang.Token.token = IDENT "OrderBy2"; pos } :: _ ->
+    Alcotest.(check int) "line" 1 pos.Lego_lang.Token.line;
+    Alcotest.(check int) "col" 1 pos.Lego_lang.Token.col
+  | _ -> Alcotest.fail "first token");
+  Alcotest.check_raises "bad character"
+    (Lego_lang.Lexer.Lex_error
+       ({ Lego_lang.Token.line = 1; col = 5 }, "unexpected character '#'"))
+    (fun () -> ignore (Lego_lang.Lexer.tokenize "1, 2#"))
+
+let test_parse_fig9 () =
+  let g =
+    parse_ok
+      "OrderBy2(RegP([2,2],[2,1]), GenP(antidiag[3,3])).OrderBy4(RegP([2,3,2,3],[1,3,2,4])).GroupBy2([6,6])"
+  in
+  Alcotest.(check int) "apply [4,2]" 15 (Group_by.apply_ints g [ 4; 2 ])
+
+let test_parse_sugar () =
+  let g = parse_ok "TileOrderBy(Col(6, 4)).TileBy([3,2],[2,2])" in
+  Alcotest.(check int) "numel" 24 (Group_by.numel g);
+  Alcotest.(check (result unit string)) "bijective" (Ok ()) (Check.layout g);
+  (* Equivalent to the programmatic construction. *)
+  let direct =
+    Sugar.tiled_view ~order:[ Sugar.col [ 6; 4 ] ] ~group:[ [ 3; 2 ]; [ 2; 2 ] ] ()
+  in
+  Alcotest.(check bool) "same as Sugar.tiled_view" true (Group_by.equal g direct)
+
+let test_parse_row_col () =
+  let g = parse_ok "OrderBy(Row(2, 3)).GroupBy([2, 3])" in
+  Alcotest.(check int) "row-major" 5 (Group_by.apply_ints g [ 1; 2 ])
+
+let test_parse_errors () =
+  let expect_error text fragment =
+    match Lego_lang.Elab.layout_of_string text with
+    | Ok _ -> Alcotest.failf "%S should not parse" text
+    | Error msg ->
+      if
+        not
+          (Str.string_match
+             (Str.regexp (".*" ^ Str.quote fragment ^ ".*"))
+             msg 0)
+      then Alcotest.failf "%S: error %S lacks %S" text msg fragment
+  in
+  expect_error "GroupBy(6, 6)" "expected";
+  expect_error "OrderBy(RegP([2,2],[2,1]))" "must end in GroupBy";
+  expect_error "GroupBy3([6,6])" "annotation";
+  expect_error "OrderBy(RegP([2,2],[1,1])).GroupBy([2,2])" "duplicate";
+  expect_error "OrderBy(GenP(nope[4,4])).GroupBy([4,4])" "no gallery bijection";
+  expect_error "OrderBy(Row(2,2)).GroupBy([2,3])" "OrderBy covers 4 elements";
+  expect_error "GroupBy([6,6]).GroupBy([6,6])" "only end a chain"
+
+let test_arity_suffixes_optional () =
+  let with_suffix = parse_ok "OrderBy2(Row(6, 6)).GroupBy2([6,6])" in
+  let without = parse_ok "OrderBy(Row(6, 6)).GroupBy([6,6])" in
+  Alcotest.(check bool) "same layout" true (Group_by.equal with_suffix without)
+
+(* Round-trip: pretty-print then re-parse of random layouts. *)
+let gen_layout =
+  let open QCheck2.Gen in
+  let* d1 = oneofl [ 2; 3; 4 ] and* d2 = oneofl [ 2; 3; 4 ] in
+  let dims = [ d1; d2 ] in
+  let piece =
+    oneof
+      [
+        (let+ sigma = oneofl (Sigma.all 2) in
+         Piece.reg ~dims ~sigma);
+        return (Gallery.reverse dims);
+        (if d1 = d2 then return (Gallery.antidiag d1)
+         else return (Gallery.reverse dims));
+      ]
+  in
+  let* n_orders = int_range 0 2 in
+  let+ pieces = list_repeat n_orders piece in
+  let chain = List.map (fun p -> Order_by.make [ p ]) pieces in
+  Group_by.make ~chain [ dims ]
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"pp then parse is identity" ~count:200 gen_layout
+    (fun g ->
+      match Lego_lang.Elab.roundtrip g with
+      | Ok g' -> Group_by.equal g g'
+      | Error _ -> false)
+
+let suite =
+  ( "lang",
+    [
+      Alcotest.test_case "lexer" `Quick test_lexer;
+      Alcotest.test_case "figure 9 notation" `Quick test_parse_fig9;
+      Alcotest.test_case "sugar notation" `Quick test_parse_sugar;
+      Alcotest.test_case "Row/Col" `Quick test_parse_row_col;
+      Alcotest.test_case "errors are reported" `Quick test_parse_errors;
+      Alcotest.test_case "arity suffixes optional" `Quick
+        test_arity_suffixes_optional;
+    ]
+    @ [ QCheck_alcotest.to_alcotest ~long:false prop_roundtrip ] )

@@ -1,0 +1,11 @@
+let () =
+  Alcotest.run "lego"
+    [
+      Test_layout.suite;
+      Test_symbolic.suite;
+      Test_affine.suite;
+      Test_lang.suite;
+      Test_codegen.suite;
+      Test_gpusim.suite;
+      Test_apps.suite;
+    ]

@@ -1,0 +1,359 @@
+(* Tests for the symbolic engine: normal form, evaluation, ranges, the
+   prover, the five Table-1 rules, expansion and the cost model. *)
+
+open Lego_symbolic
+module E = Expr
+module L = Lego_layout
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let x = E.var "x"
+let y = E.var "y"
+
+(* --- Normal form ------------------------------------------------------ *)
+
+let test_constant_folding () =
+  check_str "2+3" "5" (E.to_string E.(add (const 2) (const 3)));
+  check_str "2*3*x" "6*x" (E.to_string E.(mul (const 2) (mul (const 3) x)));
+  check_str "x-x" "0" (E.to_string E.(sub x x));
+  check_str "7/2 floor" "3" (E.to_string E.(div (const 7) (const 2)));
+  check_str "-7/2 floor" "-4" (E.to_string E.(div (const (-7)) (const 2)));
+  check_str "-7 mod 2" "1" (E.to_string E.(md (const (-7)) (const 2)))
+
+let test_like_terms () =
+  check_str "x+x" "2*x" (E.to_string E.(add x x));
+  check_str "2x+3x-5x" "0" (E.to_string
+    E.(add (mul (const 2) x) (add (mul (const 3) x) (mul (const (-5)) x))));
+  check_str "x*y + y*x" "2*x*y" (E.to_string E.(add (mul x y) (mul y x)))
+
+let test_distribute_const_over_sum () =
+  (* Needed so that differences of equal sums cancel (prover precision). *)
+  check_str "-(x+y)+x+y" "0" (E.to_string E.(add (neg (add x y)) (add x y)))
+
+let test_div_mod_units () =
+  check_str "x/1" "x" (E.to_string E.(div x (const 1)));
+  check_str "x mod 1" "0" (E.to_string E.(md x (const 1)));
+  check_str "0/x" "0" (E.to_string E.(div E.zero x))
+
+let test_select_fold () =
+  check_str "select on true" "x" (E.to_string E.(select E.one x y));
+  check_str "select same branches" "x" (E.to_string E.(select y x x));
+  check_str "x <= x" "1" (E.to_string E.(le x x));
+  check_str "x < x" "0" (E.to_string E.(lt x x))
+
+let test_subst_eval () =
+  let e = E.(add (mul (const 3) x) (div y (const 2))) in
+  let e' = E.subst [ ("x", E.const 4) ] e in
+  check_int "eval after subst" ((3 * 4) + (7 / 2))
+    (E.eval ~env:(fun _ -> 7) e');
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] (E.vars e)
+
+let test_eval_division_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (E.eval ~env:(fun _ -> 0) E.(div x (E.var "z"))))
+
+(* --- Ranges ----------------------------------------------------------- *)
+
+let env_xy =
+  Range.env_of_list [ ("x", Range.of_extent 8); ("y", Range.of_extent 3) ]
+
+let test_range_arith () =
+  let r = Range.of_expr env_xy E.(add (mul (const 3) x) y) in
+  check_int "lo" 0 r.Range.lo;
+  check_int "hi" ((3 * 7) + 2) r.Range.hi;
+  let r = Range.of_expr env_xy E.(md (sub x (const 20)) (const 5)) in
+  check_int "mod lo" 0 r.Range.lo;
+  check_int "mod hi" 4 r.Range.hi;
+  let r = Range.of_expr env_xy E.(div x (const 2)) in
+  check_int "div hi" 3 r.Range.hi
+
+let test_range_unknown_var () =
+  let r = Range.of_expr Range.empty_env x in
+  Alcotest.(check bool) "top" true
+    (r.Range.lo <= Range.ninf && r.Range.hi >= Range.pinf)
+
+let test_range_select () =
+  let r = Range.of_expr env_xy E.(select (lt x (const 100)) y (const 50)) in
+  (* Condition is decidable from ranges: only the then-branch counts. *)
+  check_int "select hi" 2 r.Range.hi
+
+(* --- Prover ----------------------------------------------------------- *)
+
+let test_prover () =
+  Alcotest.(check bool) "x >= 0" true (Prover.nonneg env_xy x);
+  Alcotest.(check bool) "x < 8" true (Prover.lt env_xy x (E.const 8));
+  Alcotest.(check bool) "not x < 7" false (Prover.lt env_xy x (E.const 7));
+  Alcotest.(check bool) "x <= x + y" true (Prover.le env_xy x E.(add x y));
+  Alcotest.(check bool) "3x+y in [0,24)" true
+    (Prover.in_half_open env_xy E.(add (mul (const 3) x) y) (E.const 24));
+  Alcotest.(check bool) "x - 10 not nonneg" false
+    (Prover.nonneg env_xy E.(sub x (const 10)))
+
+(* --- Table 1 rules ---------------------------------------------------- *)
+
+let env_qr =
+  Range.env_of_list [ ("q", Range.of_extent 100); ("r", Range.of_extent 6) ]
+
+let q = E.var "q"
+let r = E.var "r"
+
+let test_rule1_mod_split () =
+  let stats = Simplify.stats () in
+  let e = E.(md (add (mul (const 6) q) r) (const 6)) in
+  check_str "(6q+r) mod 6 -> r" "r"
+    (E.to_string (Simplify.simplify ~stats ~env:env_qr e));
+  Alcotest.(check bool) "rule 1 fired" true (stats.Simplify.r1 >= 1)
+
+let test_rule2_recombine () =
+  let stats = Simplify.stats () in
+  let env = Range.env_of_list [ ("x", Range.of_extent 1000) ] in
+  let e = E.(add (mul (const 4) (div x (const 4))) (md x (const 4))) in
+  check_str "4*(x/4) + x%4 -> x" "x"
+    (E.to_string (Simplify.simplify ~stats ~env e));
+  check_int "rule 2 fired" 1 stats.Simplify.r2;
+  (* Scaled form: 3*a*(x/a) + 3*(x mod a). *)
+  let e2 =
+    E.(add (mul (const 12) (div x (const 4))) (mul (const 3) (md x (const 4))))
+  in
+  check_str "scaled recombination" "3*x" (E.to_string (Simplify.simplify ~env e2))
+
+let test_rule3_div_elim () =
+  let stats = Simplify.stats () in
+  check_str "r/6 -> 0" "0"
+    (E.to_string (Simplify.simplify ~stats ~env:env_qr E.(div r (const 6))));
+  Alcotest.(check bool) "rule 3 fired" true (stats.Simplify.r3 >= 1)
+
+let test_rule4_mod_elim () =
+  let stats = Simplify.stats () in
+  check_str "r mod 6 -> r" "r"
+    (E.to_string (Simplify.simplify ~stats ~env:env_qr E.(md r (const 6))));
+  Alcotest.(check bool) "rule 4 fired" true (stats.Simplify.r4 >= 1)
+
+let test_rule5_div_split () =
+  let stats = Simplify.stats () in
+  let e = E.(div (add (mul (const 6) q) r) (const 6)) in
+  check_str "(6q+r)/6 -> q" "q"
+    (E.to_string (Simplify.simplify ~stats ~env:env_qr e));
+  Alcotest.(check bool) "rule 5 fired" true (stats.Simplify.r5 >= 1)
+
+let test_pullout_without_bound () =
+  (* r unbounded: rule 5 cannot fire, the sound pull-out still splits. *)
+  let env = Range.env_of_list [ ("q", Range.of_extent 10) ] in
+  let e = E.(div (add (mul (const 6) q) r) (const 6)) in
+  check_str "(6q+r)/6 -> q + r/6" "q + r / 6"
+    (E.to_string (Simplify.simplify ~env e))
+
+let test_nested_div_mod () =
+  let env = Range.env_of_list [ ("x", Range.of_extent 1000) ] in
+  check_str "(x/4)/8 -> x/32" "x / 32"
+    (E.to_string (Simplify.simplify ~env E.(div (div x (const 4)) (const 8))));
+  check_str "(x mod 12) mod 4 -> x mod 4" "x % 4"
+    (E.to_string (Simplify.simplify ~env E.(md (md x (const 12)) (const 4))))
+
+let test_simplify_is_sound_on_samples () =
+  (* Differential: simplified expression evaluates identically. *)
+  let env = env_qr in
+  let exprs =
+    [
+      E.(md (add (mul (const 6) q) r) (const 6));
+      E.(div (add (mul (const 6) q) (add r (const 5))) (const 6));
+      E.(add (mul (const 4) (div (add q r) (const 4))) (md (add q r) (const 4)));
+      E.(select (lt r (const 6)) q (md q (const 7)));
+    ]
+  in
+  List.iter
+    (fun e ->
+      let s = Simplify.simplify ~env e in
+      for qv = 0 to 99 do
+        for rv = 0 to 5 do
+          let lookup = function
+            | "q" -> qv
+            | "r" -> rv
+            | v -> Alcotest.failf "unexpected var %s" v
+          in
+          check_int
+            (Printf.sprintf "%s @ q=%d r=%d" (E.to_string e) qv rv)
+            (E.eval ~env:lookup e)
+            (E.eval ~env:lookup s)
+        done
+      done)
+    exprs
+
+(* --- Expansion and cost ----------------------------------------------- *)
+
+let test_expand () =
+  let e = E.(mul (add x (const 1)) (add y (const 2))) in
+  check_str "expanded" "2 + y + 2*x + x*y" (E.to_string (Expand.expand e))
+
+let test_cost_model () =
+  check_int "ops of x" 0 (Cost.ops x);
+  check_int "ops of x+y" 1 (Cost.ops E.(add x y));
+  Alcotest.(check bool) "div costs more than add" true
+    (Cost.ops E.(div x y) > Cost.ops E.(add x y));
+  let cheap = E.(add x y) and pricey = E.(add (mul x y) (div x y)) in
+  Alcotest.(check bool) "cheapest picks cheap" true
+    (E.equal (Cost.cheapest [ pricey; cheap ]) cheap)
+
+let test_best_of_expansion () =
+  (* (x+y)*3 expands to 3x+3y: same evaluation either way. *)
+  let env = env_xy in
+  let e = E.(mul (add x y) (const 3)) in
+  let best = Cost.best_of_expansion ~env e in
+  for xv = 0 to 7 do
+    for yv = 0 to 2 do
+      let lookup = function "x" -> xv | "y" -> yv | _ -> assert false in
+      check_int "expansion choice is sound" (E.eval ~env:lookup e)
+        (E.eval ~env:lookup best)
+    done
+  done
+
+(* --- Symbolic layout application -------------------------------------- *)
+
+let test_sym_apply_tiled () =
+  let g = L.Sugar.tiled_view ~group:[ [ 4; 2 ]; [ 2; 3 ] ] () in
+  check_str "row-major tiled offset" "i3 + 3*i1 + 6*i2 + 12*i0"
+    (E.to_string (Sym.apply g))
+
+let test_sym_inv_grouped () =
+  let gm = 2 and npm = 6 and npn = 5 in
+  let cl =
+    L.Sugar.tiled_view
+      ~order:[ L.Sugar.col [ npm / gm; 1 ]; L.Sugar.col [ gm; npn ] ]
+      ~group:[ [ npm; npn ] ] ()
+  in
+  match Sym.inv cl with
+  | [ m; n ] ->
+    check_str "pid_m" "2*(p / 10) + p % 2" (E.to_string m);
+    check_str "pid_n" "p % 10 / 2" (E.to_string n)
+  | _ -> Alcotest.fail "rank"
+
+let roundtrip_layouts =
+  [
+    ("tiled", L.Sugar.tiled_view ~group:[ [ 4; 2 ]; [ 2; 3 ] ] ());
+    ( "col tiled",
+      L.Sugar.tiled_view
+        ~order:[ L.Sugar.col [ 8; 6 ] ]
+        ~group:[ [ 4; 2 ]; [ 2; 3 ] ]
+        () );
+    ( "antidiag",
+      L.Group_by.make
+        ~chain:[ L.Order_by.make [ L.Gallery.antidiag 9 ] ]
+        [ [ 9; 9 ] ] );
+    ( "morton",
+      L.Group_by.make
+        ~chain:[ L.Order_by.make [ L.Gallery.morton ~d:2 ~bits:3 ] ]
+        [ [ 8; 8 ] ] );
+    ( "swizzle",
+      L.Group_by.make
+        ~chain:[ L.Order_by.make [ L.Gallery.xor_swizzle ~rows:8 ~cols:8 ] ]
+        [ [ 8; 8 ] ] );
+  ]
+
+let test_symbolic_matches_concrete () =
+  List.iter
+    (fun (name, g) ->
+      match Sym.check_roundtrip g ~samples:200 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e)
+    roundtrip_layouts
+
+let test_symbolic_inv_matches_concrete () =
+  List.iter
+    (fun (name, g) ->
+      let exprs = Sym.inv g in
+      for p = 0 to min 100 (L.Group_by.numel g - 1) do
+        let env v = if v = "p" then p else Alcotest.failf "unexpected %s" v in
+        let got = List.map (E.eval ~env) exprs in
+        if got <> L.Group_by.inv_ints g p then
+          Alcotest.failf "%s: symbolic inv disagrees at %d" name p
+      done)
+    roundtrip_layouts
+
+(* Property: simplification of random linear/div/mod expressions is
+   semantics-preserving over the variable ranges used to justify it. *)
+let gen_expr =
+  let open QCheck2.Gen in
+  let leaf = oneof [ return q; return r; map E.const (int_range 0 9) ] in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        let sub = self (depth - 1) in
+        oneof
+          [
+            leaf;
+            map2 E.add sub sub;
+            map2 E.mul (map E.const (int_range 1 6)) sub;
+            map2 E.sub sub sub;
+            map (fun e -> E.div e (E.const 6)) sub;
+            map (fun e -> E.md e (E.const 6)) sub;
+            map (fun e -> E.div e (E.const 4)) sub;
+            map (fun e -> E.md e (E.const 4)) sub;
+          ])
+    3
+
+let prop_simplify_sound =
+  QCheck2.Test.make ~name:"simplify preserves semantics" ~count:300
+    QCheck2.Gen.(triple gen_expr (int_bound 99) (int_bound 5))
+    (fun (e, qv, rv) ->
+      let s = Simplify.simplify ~env:env_qr e in
+      let lookup = function "q" -> qv | "r" -> rv | _ -> 0 in
+      E.eval ~env:lookup e = E.eval ~env:lookup s)
+
+let prop_expand_sound =
+  QCheck2.Test.make ~name:"expansion preserves semantics" ~count:300
+    QCheck2.Gen.(triple gen_expr (int_bound 99) (int_bound 5))
+    (fun (e, qv, rv) ->
+      let lookup = function "q" -> qv | "r" -> rv | _ -> 0 in
+      E.eval ~env:lookup e = E.eval ~env:lookup (Expand.expand e))
+
+let prop_range_sound =
+  QCheck2.Test.make ~name:"range analysis bounds evaluation" ~count:300
+    QCheck2.Gen.(triple gen_expr (int_bound 99) (int_bound 5))
+    (fun (e, qv, rv) ->
+      let lookup = function "q" -> qv | "r" -> rv | _ -> 0 in
+      let range = Range.of_expr env_qr e in
+      let v = E.eval ~env:lookup e in
+      Range.contains range v)
+
+let props = [ prop_simplify_sound; prop_expand_sound; prop_range_sound ]
+
+let suite =
+  ( "symbolic",
+    [
+      Alcotest.test_case "constant folding" `Quick test_constant_folding;
+      Alcotest.test_case "like terms" `Quick test_like_terms;
+      Alcotest.test_case "constant distributes over lone sum" `Quick
+        test_distribute_const_over_sum;
+      Alcotest.test_case "div/mod units" `Quick test_div_mod_units;
+      Alcotest.test_case "select/compare folds" `Quick test_select_fold;
+      Alcotest.test_case "subst and eval" `Quick test_subst_eval;
+      Alcotest.test_case "division by zero" `Quick test_eval_division_by_zero;
+      Alcotest.test_case "range arithmetic" `Quick test_range_arith;
+      Alcotest.test_case "range of unknown vars" `Quick test_range_unknown_var;
+      Alcotest.test_case "range of select" `Quick test_range_select;
+      Alcotest.test_case "prover goals" `Quick test_prover;
+      Alcotest.test_case "rule 1: mod split" `Quick test_rule1_mod_split;
+      Alcotest.test_case "rule 2: recombination" `Quick test_rule2_recombine;
+      Alcotest.test_case "rule 3: div elimination" `Quick test_rule3_div_elim;
+      Alcotest.test_case "rule 4: mod elimination" `Quick test_rule4_mod_elim;
+      Alcotest.test_case "rule 5: div split" `Quick test_rule5_div_split;
+      Alcotest.test_case "unconditioned pull-out" `Quick
+        test_pullout_without_bound;
+      Alcotest.test_case "nested div/mod" `Quick test_nested_div_mod;
+      Alcotest.test_case "simplify sound on exhaustive samples" `Quick
+        test_simplify_is_sound_on_samples;
+      Alcotest.test_case "expansion" `Quick test_expand;
+      Alcotest.test_case "cost model" `Quick test_cost_model;
+      Alcotest.test_case "cost-guided expansion choice" `Quick
+        test_best_of_expansion;
+      Alcotest.test_case "symbolic apply of tiled view" `Quick
+        test_sym_apply_tiled;
+      Alcotest.test_case "symbolic inv of grouped ordering" `Quick
+        test_sym_inv_grouped;
+      Alcotest.test_case "symbolic apply == concrete" `Quick
+        test_symbolic_matches_concrete;
+      Alcotest.test_case "symbolic inv == concrete" `Quick
+        test_symbolic_inv_matches_concrete;
+    ]
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false) props )
