@@ -1,0 +1,16 @@
+# Tier-1 gate: the repo must build and its test suite must pass.
+.PHONY: check build test bench clean
+
+check: build test
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

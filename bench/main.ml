@@ -18,6 +18,23 @@ let header title =
 
 let row fmt = Printf.printf fmt
 
+(* Hit/miss/eviction counters of the memoized symbolic engine (process
+   lifetime; see lib/symbolic). *)
+let engine_counters () =
+  let i = S.Expr.intern_stats () in
+  row "expr intern:  %d hits / %d misses / %d evictions (%d live nodes)\n"
+    i.S.Expr.hits i.S.Expr.misses i.S.Expr.evictions (S.Expr.intern_size ());
+  let rc = S.Range.cache_stats () in
+  row "range cache:  %d hits / %d misses / %d evictions\n" rc.S.Range.hits
+    rc.S.Range.misses rc.S.Range.evictions;
+  let p = S.Prover.snapshot () in
+  row "prover cache: %d hits / %d misses; %d/%d goals proved\n"
+    p.S.Prover.cache_hits p.S.Prover.cache_misses p.S.Prover.proved
+    p.S.Prover.queries;
+  let sc = S.Simplify.cache_stats () in
+  row "simplify memo: %d hits / %d misses / %d evictions\n" sc.S.Simplify.hits
+    sc.S.Simplify.misses sc.S.Simplify.evictions
+
 (* ---- Table 1: simplification rules ----------------------------------- *)
 
 let table1 () =
@@ -58,12 +75,14 @@ let table1 () =
          [ [ 6; 6 ] ]);
     ]
   in
-  row "%-28s %6s %6s %6s %6s %6s %6s | %9s %9s\n" "layout" "r1" "r2" "r3" "r4"
-    "r5" "extra" "ops-raw" "ops-simpl";
+  row "%-28s %6s %6s %6s %6s %6s %6s | %9s %9s | %15s\n" "layout" "r1" "r2"
+    "r3" "r4" "r5" "extra" "ops-raw" "ops-simpl" "prover p/q";
   let totals = S.Simplify.stats () in
+  S.Prover.reset ();
   List.iter
     (fun (name, layout) ->
       let stats = S.Simplify.stats () in
+      let before = S.Prover.snapshot () in
       let process roots =
         List.map
           (fun e -> S.Simplify.simplify ~stats ~env:(S.Sym.ranges_of layout) e)
@@ -72,25 +91,50 @@ let table1 () =
       let raw_apply = S.Sym.apply ~simplify:false layout in
       let raw_inv = S.Sym.inv ~simplify:false layout in
       let simplified = process (raw_apply :: raw_inv) in
+      let prover = S.Prover.(diff (snapshot ()) before) in
       let raw_ops =
         List.fold_left (fun a e -> a + S.Cost.ops e) 0 (raw_apply :: raw_inv)
       in
       let simpl_ops =
         List.fold_left (fun a e -> a + S.Cost.ops e) 0 simplified
       in
-      row "%-28s %6d %6d %6d %6d %6d %6d | %9d %9d\n" name stats.S.Simplify.r1
-        stats.S.Simplify.r2 stats.S.Simplify.r3 stats.S.Simplify.r4
-        stats.S.Simplify.r5 stats.S.Simplify.extra raw_ops simpl_ops;
+      row "%-28s %6d %6d %6d %6d %6d %6d | %9d %9d | %7d/%7d\n" name
+        stats.S.Simplify.r1 stats.S.Simplify.r2 stats.S.Simplify.r3
+        stats.S.Simplify.r4 stats.S.Simplify.r5 stats.S.Simplify.extra raw_ops
+        simpl_ops prover.S.Prover.proved prover.S.Prover.queries;
       totals.S.Simplify.r1 <- totals.S.Simplify.r1 + stats.S.Simplify.r1;
       totals.S.Simplify.r2 <- totals.S.Simplify.r2 + stats.S.Simplify.r2;
       totals.S.Simplify.r3 <- totals.S.Simplify.r3 + stats.S.Simplify.r3;
       totals.S.Simplify.r4 <- totals.S.Simplify.r4 + stats.S.Simplify.r4;
       totals.S.Simplify.r5 <- totals.S.Simplify.r5 + stats.S.Simplify.r5;
-      totals.S.Simplify.extra <- totals.S.Simplify.extra + stats.S.Simplify.extra)
+      totals.S.Simplify.extra <- totals.S.Simplify.extra + stats.S.Simplify.extra;
+      totals.S.Simplify.passes <- totals.S.Simplify.passes + stats.S.Simplify.passes;
+      totals.S.Simplify.fuel_exhausted <-
+        totals.S.Simplify.fuel_exhausted + stats.S.Simplify.fuel_exhausted)
     corpus;
   row "TOTAL rule applications: %d;  prover: %d/%d side conditions proved\n"
     (S.Simplify.total totals) S.Prover.global_stats.S.Prover.proved
-    S.Prover.global_stats.S.Prover.queries
+    S.Prover.global_stats.S.Prover.queries;
+  row "simplify: %s\n" (Format.asprintf "%a" S.Simplify.pp_stats totals);
+  engine_counters ();
+  (* Wall-clock for the whole corpus, the engine's hot path end to end. *)
+  let reps = 20 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    List.iter
+      (fun (_, layout) ->
+        let env = S.Sym.ranges_of layout in
+        let raw_apply = S.Sym.apply ~simplify:false layout in
+        let raw_inv = S.Sym.inv ~simplify:false layout in
+        List.iter
+          (fun e -> ignore (S.Simplify.simplify ~env e))
+          (raw_apply :: raw_inv))
+      corpus
+  done;
+  let t1 = Unix.gettimeofday () in
+  row "corpus x%d: %.1f ms total, %.2f ms/iter\n" reps
+    ((t1 -. t0) *. 1e3)
+    ((t1 -. t0) *. 1e3 /. float_of_int reps)
 
 (* ---- Figures 12a/12b: matmul ------------------------------------------ *)
 
@@ -279,7 +323,9 @@ let micro () =
   in
   List.iter
     (fun (name, t) -> Printf.printf "%-44s %12.1f ns/run\n" name t)
-    (List.sort compare rows)
+    (List.sort compare rows);
+  Printf.printf "\n-- engine counters (process lifetime) --\n";
+  engine_counters ()
 
 let experiments =
   [

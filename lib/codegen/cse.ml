@@ -46,7 +46,22 @@ let lower ?(prefix = "t") roots =
     | [ a ] -> a
     | a :: b :: rest -> chain op (emit op [ a; b ] :: rest)
   in
+  (* Hash-consed expressions make shared subtrees physically equal, so a
+     memo over nodes skips re-lowering them entirely (the instruction
+     table below still dedupes structurally identical chains). *)
+  let memo : (E.t, atom) Hashtbl.t = Hashtbl.create 64 in
   let rec go (e : E.t) : atom =
+    match e with
+    | Const n -> Aconst n
+    | Var v -> Avar v
+    | _ -> (
+      match Hashtbl.find_opt memo e with
+      | Some a -> a
+      | None ->
+        let a = lower_node e in
+        Hashtbl.add memo e a;
+        a)
+  and lower_node (e : E.t) : atom =
     match e with
     | Const n -> Aconst n
     | Var v -> Avar v

@@ -1,16 +1,34 @@
-let rec expand (e : Expr.t) : Expr.t =
-  match e with
-  | Const _ | Var _ -> e
-  | Mul factors ->
-    let factors = List.map expand factors in
-    (* Fold factors together, distributing over any sum encountered. *)
-    List.fold_left
-      (fun acc f ->
-        let acc_terms = match (acc : Expr.t) with Add xs -> xs | e -> [ e ] in
-        let f_terms = match (f : Expr.t) with Add xs -> xs | e -> [ e ] in
-        Expr.sum
-          (List.concat_map
-             (fun a -> List.map (fun b -> Expr.mul a b) f_terms)
-             acc_terms))
-      Expr.one factors
-  | _ -> Expr.map_children expand e
+let expand (root : Expr.t) : Expr.t =
+  (* Hash-consing makes repeated subtrees physically shared, so a per-call
+     memo table turns the tree traversal into a DAG traversal. *)
+  let memo : (Expr.t, Expr.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go (e : Expr.t) : Expr.t =
+    match e with
+    | Const _ | Var _ -> e
+    | _ -> (
+      match Hashtbl.find_opt memo e with
+      | Some r -> r
+      | None ->
+        let r = compute e in
+        Hashtbl.add memo e r;
+        r)
+  and compute (e : Expr.t) : Expr.t =
+    match e with
+    | Const _ | Var _ -> e
+    | Mul factors ->
+      let factors = List.map go factors in
+      (* Fold factors together, distributing over any sum encountered. *)
+      List.fold_left
+        (fun acc f ->
+          let acc_terms =
+            match (acc : Expr.t) with Add xs -> xs | e -> [ e ]
+          in
+          let f_terms = match (f : Expr.t) with Add xs -> xs | e -> [ e ] in
+          Expr.sum
+            (List.concat_map
+               (fun a -> List.map (fun b -> Expr.mul a b) f_terms)
+               acc_terms))
+        Expr.one factors
+    | _ -> Expr.map_children go e
+  in
+  go root

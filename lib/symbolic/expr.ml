@@ -25,32 +25,104 @@ let tag = function
   | Isqrt _ -> 10
 
 let rec compare a b =
-  match (a, b) with
-  | Const x, Const y -> Int.compare x y
-  | Var x, Var y -> String.compare x y
-  | Add xs, Add ys | Mul xs, Mul ys -> List.compare compare xs ys
-  | Div (x1, x2), Div (y1, y2) | Mod (x1, x2), Mod (y1, y2) ->
-    let c = compare x1 y1 in
-    if c <> 0 then c else compare x2 y2
-  | Le (x1, x2), Le (y1, y2)
-  | Lt (x1, x2), Lt (y1, y2)
-  | Eq (x1, x2), Eq (y1, y2) ->
-    let c = compare x1 y1 in
-    if c <> 0 then c else compare x2 y2
-  | Select (x1, x2, x3), Select (y1, y2, y3) ->
-    let c = compare x1 y1 in
-    if c <> 0 then c
-    else
-      let c = compare x2 y2 in
-      if c <> 0 then c else compare x3 y3
-  | Isqrt x, Isqrt y -> compare x y
-  | _ -> Int.compare (tag a) (tag b)
+  if a == b then 0
+  else
+    match (a, b) with
+    | Const x, Const y -> Int.compare x y
+    | Var x, Var y -> String.compare x y
+    | Add xs, Add ys | Mul xs, Mul ys -> List.compare compare xs ys
+    | Div (x1, x2), Div (y1, y2) | Mod (x1, x2), Mod (y1, y2) ->
+      let c = compare x1 y1 in
+      if c <> 0 then c else compare x2 y2
+    | Le (x1, x2), Le (y1, y2)
+    | Lt (x1, x2), Lt (y1, y2)
+    | Eq (x1, x2), Eq (y1, y2) ->
+      let c = compare x1 y1 in
+      if c <> 0 then c else compare x2 y2
+    | Select (x1, x2, x3), Select (y1, y2, y3) ->
+      let c = compare x1 y1 in
+      if c <> 0 then c
+      else
+        let c = compare x2 y2 in
+        if c <> 0 then c else compare x3 y3
+    | Isqrt x, Isqrt y -> compare x y
+    | _ -> Int.compare (tag a) (tag b)
 
-let equal a b = compare a b = 0
-let const n = Const n
-let var name = Var name
-let zero = Const 0
-let one = Const 1
+let equal a b = a == b || compare a b = 0
+
+(* ---- Hash-consing ----------------------------------------------------- *)
+
+(* Every freshly allocated node is routed through a unique table so that
+   structurally equal expressions are physically equal in the common case.
+   Children are interned before their parents, so both the polymorphic
+   hash (depth-bounded) and the polymorphic equality used by [Hashtbl]
+   short-circuit on physical identity, making each intern O(1).  The
+   table is bounded: when it fills up it is flushed (counted as an
+   eviction), after which [==] stays sound but loses completeness — which
+   is why [equal]/[compare] keep a structural fallback. *)
+
+type intern_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let intern_counters = { hits = 0; misses = 0; evictions = 0 }
+let intern_capacity = 1 lsl 17
+let intern_tbl : (t, t) Hashtbl.t = Hashtbl.create 4096
+
+let intern e =
+  match Hashtbl.find_opt intern_tbl e with
+  | Some e' ->
+    intern_counters.hits <- intern_counters.hits + 1;
+    e'
+  | None ->
+    intern_counters.misses <- intern_counters.misses + 1;
+    if Hashtbl.length intern_tbl >= intern_capacity then begin
+      Hashtbl.reset intern_tbl;
+      intern_counters.evictions <- intern_counters.evictions + 1
+    end;
+    Hashtbl.add intern_tbl e e;
+    e
+
+let intern_stats () =
+  {
+    hits = intern_counters.hits;
+    misses = intern_counters.misses;
+    evictions = intern_counters.evictions;
+  }
+
+let reset_intern_stats () =
+  intern_counters.hits <- 0;
+  intern_counters.misses <- 0;
+  intern_counters.evictions <- 0
+
+let intern_size () = Hashtbl.length intern_tbl
+
+let const n = intern (Const n)
+let var name = intern (Var name)
+let zero = const 0
+let one = const 1
+let mk_add es = intern (Add es)
+let mk_mul es = intern (Mul es)
+
+(* ---- Overflow-safe constant folding ----------------------------------- *)
+
+(* Constant folds must never wrap: a fold that overflows the native int is
+   skipped and the node stays symbolic (the guard-by-division idiom of
+   [Range.sat_mul]).  [min_int] is rejected outright so that [abs] is
+   total. *)
+
+let add_no_ovf a b =
+  let s = a + b in
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then None
+  else Some s
+
+let mul_no_ovf a b =
+  if a = 0 || b = 0 then Some 0
+  else if a = min_int || b = min_int then None
+  else if abs a > max_int / abs b then None
+  else Some (a * b)
 
 (* (coefficient, non-constant factors) view of a product. *)
 let as_linear_term = function
@@ -61,11 +133,11 @@ let as_linear_term = function
 
 let of_linear_term (coeff, factors) =
   match (coeff, factors) with
-  | 0, _ -> Const 0
-  | n, [] -> Const n
+  | 0, _ -> zero
+  | n, [] -> const n
   | 1, [ f ] -> f
-  | 1, fs -> Mul fs
-  | n, fs -> Mul (Const n :: fs)
+  | 1, fs -> mk_mul fs
+  | n, fs -> mk_mul (const n :: fs)
 
 let sum terms =
   (* Flatten, fold constants, collect like terms, order canonically. *)
@@ -73,6 +145,8 @@ let sum terms =
     List.concat_map (function Add xs -> xs | e -> [ e ]) terms
   in
   let constant = ref 0 in
+  (* Constants whose fold would overflow stay as separate summands. *)
+  let unfolded = ref [] in
   let module M = Map.Make (struct
     type nonrec t = t list
 
@@ -83,33 +157,48 @@ let sum terms =
       (fun acc e ->
         let coeff, factors = as_linear_term e in
         if factors = [] then begin
-          constant := !constant + coeff;
+          (match add_no_ovf !constant coeff with
+          | Some s -> constant := s
+          | None -> unfolded := coeff :: !unfolded);
           acc
         end
         else
           M.update factors
-            (function None -> Some coeff | Some c -> Some (c + coeff))
+            (function
+              | None -> Some [ coeff ]
+              | Some (c :: cs) -> (
+                match add_no_ovf c coeff with
+                | Some s -> Some (s :: cs)
+                | None -> Some (coeff :: c :: cs))
+              | Some [] -> Some [ coeff ])
             acc)
       M.empty flat
   in
   let monomials =
     M.fold
-      (fun factors coeff acc ->
-        if coeff = 0 then acc else of_linear_term (coeff, factors) :: acc)
+      (fun factors coeffs acc ->
+        List.fold_left
+          (fun acc coeff ->
+            if coeff = 0 then acc else of_linear_term (coeff, factors) :: acc)
+          acc coeffs)
       by_factors []
   in
   let monomials = List.sort compare monomials in
+  let extras = List.map const !unfolded in
   let with_const =
-    if !constant = 0 && monomials <> [] then monomials
-    else Const !constant :: monomials
+    if !constant = 0 && (monomials <> [] || extras <> []) then
+      extras @ monomials
+    else (const !constant :: extras) @ monomials
   in
-  match with_const with [] -> Const 0 | [ e ] -> e | es -> Add es
+  match with_const with [] -> zero | [ e ] -> e | es -> mk_add es
 
-let scale_term c t =
+let scale_term_opt c t =
   let coeff, factors = as_linear_term t in
-  of_linear_term (c * coeff, factors)
+  Option.map (fun cc -> of_linear_term (cc, factors)) (mul_no_ovf c coeff)
 
-let sum_distributed c terms = sum (List.map (scale_term c) terms)
+let sum_distributed c terms =
+  let scaled = List.filter_map (scale_term_opt c) terms in
+  if List.length scaled = List.length terms then Some (sum scaled) else None
 
 let product factors =
   let flat =
@@ -119,52 +208,60 @@ let product factors =
   let rest =
     List.filter
       (function
-        | Const n ->
-          constant := !constant * n;
-          false
+        | Const n -> (
+          match mul_no_ovf !constant n with
+          | Some c ->
+            constant := c;
+            false
+          | None -> true (* overflow: keep the constant as a factor *))
         | _ -> true)
       flat
   in
-  if !constant = 0 then Const 0
+  if !constant = 0 then zero
   else
+    let generic rest =
+      let rest = List.sort compare rest in
+      let with_const =
+        if !constant = 1 && rest <> [] then rest else const !constant :: rest
+      in
+      match with_const with [] -> one | [ e ] -> e | es -> mk_mul es
+    in
     match rest with
-    | [ Add terms ] ->
+    | [ Add terms ] -> (
       (* Distribute a constant over a lone sum so that differences of
          equal sums cancel in the Add normal form (the prover depends on
-         this). *)
-      let c = !constant in
-      sum_distributed c terms
-    | _ ->
-      let rest = List.sort compare rest in
-      let with_const = if !constant = 1 && rest <> [] then rest
-        else Const !constant :: rest
-      in
-      (match with_const with [] -> Const 1 | [ e ] -> e | es -> Mul es)
+         this); skipped when a scaled coefficient would overflow. *)
+      match sum_distributed !constant terms with
+      | Some e -> e
+      | None -> generic rest)
+    | _ -> generic rest
 
 let add a b = sum [ a; b ]
 let mul a b = product [ a; b ]
-let neg a = mul (Const (-1)) a
+let neg a = mul (const (-1)) a
 let sub a b = add a (neg b)
 
 let div a b =
   match (a, b) with
   | _, Const 1 -> a
-  | Const x, Const y when y <> 0 -> Const (Lego_layout.Domain.floor_div x y)
-  | Const 0, _ -> Const 0
-  | _ -> Div (a, b)
+  | Const x, Const y when y <> 0 && not (x = min_int && y = -1) ->
+    const (Lego_layout.Domain.floor_div x y)
+  | Const 0, _ -> zero
+  | _ -> intern (Div (a, b))
 
 let md a b =
   match (a, b) with
-  | _, Const 1 -> Const 0
-  | Const x, Const y when y <> 0 -> Const (Lego_layout.Domain.floor_rem x y)
-  | Const 0, _ -> Const 0
-  | _ -> Mod (a, b)
+  | _, Const 1 -> zero
+  | Const x, Const y when y <> 0 && not (x = min_int && y = -1) ->
+    const (Lego_layout.Domain.floor_rem x y)
+  | Const 0, _ -> zero
+  | _ -> intern (Mod (a, b))
 
 let bool_fold op a b mk =
   match (a, b) with
-  | Const x, Const y -> Const (if op x y then 1 else 0)
-  | _ when equal a b -> Const (if op 0 0 then 1 else 0)
-  | _ -> mk (a, b)
+  | Const x, Const y -> const (if op x y then 1 else 0)
+  | _ when equal a b -> const (if op 0 0 then 1 else 0)
+  | _ -> intern (mk (a, b))
 
 let le a b = bool_fold ( <= ) a b (fun (a, b) -> Le (a, b))
 let lt a b = bool_fold ( < ) a b (fun (a, b) -> Lt (a, b))
@@ -174,24 +271,47 @@ let select c a b =
   match c with
   | Const 0 -> b
   | Const _ -> a
-  | _ -> if equal a b then a else Select (c, a, b)
+  | _ -> if equal a b then a else intern (Select (c, a, b))
 
 let isqrt = function
-  | Const n when n >= 0 -> Const (Lego_layout.Domain.int_isqrt n)
-  | e -> Isqrt e
+  | Const n when n >= 0 -> const (Lego_layout.Domain.int_isqrt n)
+  | e -> intern (Isqrt e)
+
+let same_list xs ys = List.for_all2 (fun x y -> x == y) xs ys
 
 let map_children f e =
+  (* When every child maps to itself the node is returned unchanged: with
+     hash-consed children this makes no-op rewrite passes O(1) per node
+     and lets fixpoint detection hit the physical-equality fast path. *)
   match e with
   | Const _ | Var _ -> e
-  | Add xs -> sum (List.map f xs)
-  | Mul xs -> product (List.map f xs)
-  | Div (a, b) -> div (f a) (f b)
-  | Mod (a, b) -> md (f a) (f b)
-  | Select (c, a, b) -> select (f c) (f a) (f b)
-  | Le (a, b) -> le (f a) (f b)
-  | Lt (a, b) -> lt (f a) (f b)
-  | Eq (a, b) -> eq (f a) (f b)
-  | Isqrt a -> isqrt (f a)
+  | Add xs ->
+    let xs' = List.map f xs in
+    if same_list xs xs' then e else sum xs'
+  | Mul xs ->
+    let xs' = List.map f xs in
+    if same_list xs xs' then e else product xs'
+  | Div (a, b) ->
+    let a' = f a and b' = f b in
+    if a' == a && b' == b then e else div a' b'
+  | Mod (a, b) ->
+    let a' = f a and b' = f b in
+    if a' == a && b' == b then e else md a' b'
+  | Select (c, a, b) ->
+    let c' = f c and a' = f a and b' = f b in
+    if c' == c && a' == a && b' == b then e else select c' a' b'
+  | Le (a, b) ->
+    let a' = f a and b' = f b in
+    if a' == a && b' == b then e else le a' b'
+  | Lt (a, b) ->
+    let a' = f a and b' = f b in
+    if a' == a && b' == b then e else lt a' b'
+  | Eq (a, b) ->
+    let a' = f a and b' = f b in
+    if a' == a && b' == b then e else eq a' b'
+  | Isqrt a ->
+    let a' = f a in
+    if a' == a then e else isqrt a'
 
 let rec rebuild e = map_children rebuild e
 

@@ -6,7 +6,15 @@
     the LEGO layout algebra needs.  Smart constructors keep expressions in
     a light normal form (n-ary sums/products, folded constants, collected
     like terms, canonical argument order) so that structural equality is a
-    useful notion and the rewrite rules of {!Rules} can match. *)
+    useful notion and the rewrite rules of {!Rules} can match.
+
+    Expressions are hash-consed: every node built by a smart constructor
+    is routed through a bounded unique table, so structurally equal
+    expressions are physically equal in the common case and
+    {!equal}/{!compare} short-circuit on [==].  Constant folding is
+    overflow-safe: a fold that would wrap the native int is skipped and
+    the node stays symbolic (which may relax the "at most one constant"
+    invariant below in that corner case). *)
 
 type t = private
   | Const of int
@@ -46,9 +54,25 @@ val sum : t list -> t
 val product : t list -> t
 
 val compare : t -> t -> int
-(** Total structural order (also the canonical argument order). *)
+(** Total structural order (also the canonical argument order), with a
+    physical-equality fast path at every node. *)
 
 val equal : t -> t -> bool
+(** [equal a b] is [a == b || compare a b = 0]; with hash-consing the
+    physical test decides almost every call in O(1). *)
+
+type intern_stats = {
+  mutable hits : int;  (** constructions resolved to an existing node *)
+  mutable misses : int;  (** fresh nodes added to the unique table *)
+  mutable evictions : int;  (** table flushes on reaching capacity *)
+}
+
+val intern_stats : unit -> intern_stats
+(** Snapshot of the process-lifetime hash-consing counters. *)
+
+val reset_intern_stats : unit -> unit
+val intern_size : unit -> int
+(** Current number of live nodes in the unique table. *)
 
 val rebuild : t -> t
 (** Re-apply all smart constructors bottom-up (used after surgical rule

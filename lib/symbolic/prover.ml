@@ -1,25 +1,106 @@
-type stats = { mutable queries : int; mutable proved : int }
+type stats = {
+  mutable queries : int;
+  mutable proved : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
 
-let stats () = { queries = 0; proved = 0 }
+let stats () = { queries = 0; proved = 0; cache_hits = 0; cache_misses = 0 }
 let global_stats = stats ()
+
+let snapshot () =
+  {
+    queries = global_stats.queries;
+    proved = global_stats.proved;
+    cache_hits = global_stats.cache_hits;
+    cache_misses = global_stats.cache_misses;
+  }
+
+let reset () =
+  global_stats.queries <- 0;
+  global_stats.proved <- 0;
+  global_stats.cache_hits <- 0;
+  global_stats.cache_misses <- 0
+
+let diff a b =
+  {
+    queries = a.queries - b.queries;
+    proved = a.proved - b.proved;
+    cache_hits = a.cache_hits - b.cache_hits;
+    cache_misses = a.cache_misses - b.cache_misses;
+  }
 
 let record ok =
   global_stats.queries <- global_stats.queries + 1;
   if ok then global_stats.proved <- global_stats.proved + 1;
   ok
 
+(* ---- Query cache ------------------------------------------------------ *)
+
+(* Goal verdicts are cached per environment (physical identity, like the
+   {!Range.of_expr} cache) and keyed by (goal kind, operand pair) — the
+   operands as given, not the normalized difference, so a cache hit skips
+   the [Expr.sub] construction entirely.  With hash-consed expressions the
+   key hashes and compares in O(1).  A cached verdict still counts as a
+   query in [global_stats] so proved/failed totals keep their meaning. *)
+
+let max_cached_envs = 8
+let max_cache_entries = 1 lsl 16
+
+let env_caches : (Range.env * (int * Expr.t * Expr.t, bool) Hashtbl.t) list ref
+    =
+  ref []
+
+let clear_cache () = env_caches := []
+
+let cache_for env =
+  match List.find_opt (fun (e, _) -> e == env) !env_caches with
+  | Some (_, tbl) -> tbl
+  | None ->
+    let tbl = Hashtbl.create 256 in
+    let kept = List.filteri (fun i _ -> i < max_cached_envs - 1) !env_caches in
+    env_caches := (env, tbl) :: kept;
+    tbl
+
+let goal_nonneg = 0
+let goal_positive = 1
+let goal_nonzero = 2
+let goal_le = 3
+let goal_lt = 4
+
+let query goal env a b decide =
+  let tbl = cache_for env in
+  match Hashtbl.find_opt tbl (goal, a, b) with
+  | Some ok ->
+    global_stats.cache_hits <- global_stats.cache_hits + 1;
+    record ok
+  | None ->
+    global_stats.cache_misses <- global_stats.cache_misses + 1;
+    let ok = decide () in
+    if Hashtbl.length tbl >= max_cache_entries then Hashtbl.reset tbl;
+    Hashtbl.add tbl (goal, a, b) ok;
+    record ok
+
 let nonneg env e =
-  let r = Range.of_expr env e in
-  record (r.Range.lo >= 0)
+  query goal_nonneg env e Expr.zero (fun () ->
+      (Range.of_expr env e).Range.lo >= 0)
 
 let positive env e =
-  let r = Range.of_expr env e in
-  record (r.Range.lo > 0)
+  query goal_positive env e Expr.zero (fun () ->
+      (Range.of_expr env e).Range.lo > 0)
 
 let nonzero env e =
-  let r = Range.of_expr env e in
-  record (r.Range.lo > 0 || r.Range.hi < 0)
+  query goal_nonzero env e Expr.zero (fun () ->
+      let r = Range.of_expr env e in
+      r.Range.lo > 0 || r.Range.hi < 0)
 
-let le env a b = nonneg env (Expr.sub b a)
-let lt env a b = nonneg env (Expr.sub b (Expr.add a Expr.one))
+let le env a b =
+  query goal_le env a b (fun () ->
+      (* Decide on the normalized difference so common terms cancel. *)
+      (Range.of_expr env (Expr.sub b a)).Range.lo >= 0)
+
+let lt env a b =
+  query goal_lt env a b (fun () ->
+      (Range.of_expr env (Expr.sub b (Expr.add a Expr.one))).Range.lo >= 0)
+
 let in_half_open env x a = nonneg env x && lt env x a

@@ -9,11 +9,28 @@
     before the interval query).  Failing to prove a true fact is safe: the
     rewrite simply does not fire. *)
 
-type stats = { mutable queries : int; mutable proved : int }
+type stats = {
+  mutable queries : int;  (** all goals asked, cached or not *)
+  mutable proved : int;  (** goals that held (failed = queries - proved) *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
 
 val stats : unit -> stats
 val global_stats : stats
 (** Shared counter reported by the Table-1 benchmark. *)
+
+val snapshot : unit -> stats
+(** Copy of {!global_stats}, for per-experiment deltas. *)
+
+val reset : unit -> unit
+(** Zero {!global_stats} (the query cache is kept: verdicts stay valid). *)
+
+val diff : stats -> stats -> stats
+(** [diff after before] — field-wise difference of two snapshots. *)
+
+val clear_cache : unit -> unit
+(** Drop every cached environment's verdict table. *)
 
 val nonneg : Range.env -> Expr.t -> bool
 (** [nonneg env e]: is [0 <= e] valid under [env]? *)

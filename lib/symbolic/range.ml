@@ -111,22 +111,89 @@ let env_add = StringMap.add
 let env_find v env = Option.value ~default:top (StringMap.find_opt v env)
 let env_bindings env = StringMap.bindings env
 
-let rec of_expr env (e : Expr.t) =
+(* ---- Memoized range analysis ------------------------------------------ *)
+
+(* [of_expr] results are cached per environment, keyed by physical env
+   identity (envs are persistent maps, so [env_add] yields a new identity
+   and thereby invalidates).  A small LRU of recent envs each owns a
+   bounded table keyed by (hash-consed) expression nodes, so repeated
+   prover side-condition queries over shared subtrees are O(1). *)
+
+type cache_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let cache_counters = { hits = 0; misses = 0; evictions = 0 }
+
+let cache_stats () =
+  {
+    hits = cache_counters.hits;
+    misses = cache_counters.misses;
+    evictions = cache_counters.evictions;
+  }
+
+let reset_cache_stats () =
+  cache_counters.hits <- 0;
+  cache_counters.misses <- 0;
+  cache_counters.evictions <- 0
+
+let max_cached_envs = 8
+let max_cache_entries = 1 lsl 16
+let env_caches : (env * (Expr.t, t) Hashtbl.t) list ref = ref []
+
+let clear_cache () = env_caches := []
+
+let cache_for env =
+  match List.find_opt (fun (e, _) -> e == env) !env_caches with
+  | Some (_, tbl) -> tbl
+  | None ->
+    let tbl = Hashtbl.create 256 in
+    let kept = List.filteri (fun i _ -> i < max_cached_envs - 1) !env_caches in
+    if List.compare_length_with !env_caches (max_cached_envs - 1) > 0 then
+      cache_counters.evictions <- cache_counters.evictions + 1;
+    env_caches := (env, tbl) :: kept;
+    tbl
+
+let rec cached env tbl (e : Expr.t) =
+  match e with
+  | Const n -> exact n
+  | Var v -> env_find v env
+  | _ -> (
+    match Hashtbl.find_opt tbl e with
+    | Some r ->
+      cache_counters.hits <- cache_counters.hits + 1;
+      r
+    | None ->
+      cache_counters.misses <- cache_counters.misses + 1;
+      let r = compute env tbl e in
+      if Hashtbl.length tbl >= max_cache_entries then begin
+        Hashtbl.reset tbl;
+        cache_counters.evictions <- cache_counters.evictions + 1
+      end;
+      Hashtbl.add tbl e r;
+      r)
+
+and compute env tbl (e : Expr.t) =
+  let of_expr = cached env tbl in
   match e with
   | Const n -> exact n
   | Var v -> env_find v env
   | Add xs ->
-    List.fold_left (fun acc x -> add acc (of_expr env x)) (exact 0) xs
+    List.fold_left (fun acc x -> add acc (of_expr x)) (exact 0) xs
   | Mul xs ->
-    List.fold_left (fun acc x -> mul acc (of_expr env x)) (exact 1) xs
-  | Div (a, b) -> div (of_expr env a) (of_expr env b)
-  | Mod (a, b) -> rem (of_expr env a) (of_expr env b)
+    List.fold_left (fun acc x -> mul acc (of_expr x)) (exact 1) xs
+  | Div (a, b) -> div (of_expr a) (of_expr b)
+  | Mod (a, b) -> rem (of_expr a) (of_expr b)
   | Select (c, a, b) ->
-    let rc = of_expr env c in
-    if rc.lo > 0 || rc.hi < 0 then of_expr env a
-    else if rc.lo = 0 && rc.hi = 0 then of_expr env b
-    else hull (of_expr env a) (of_expr env b)
-  | Le (a, b) -> le (of_expr env a) (of_expr env b)
-  | Lt (a, b) -> lt (of_expr env a) (of_expr env b)
-  | Eq (a, b) -> eq (of_expr env a) (of_expr env b)
-  | Isqrt a -> isqrt (of_expr env a)
+    let rc = of_expr c in
+    if rc.lo > 0 || rc.hi < 0 then of_expr a
+    else if rc.lo = 0 && rc.hi = 0 then of_expr b
+    else hull (of_expr a) (of_expr b)
+  | Le (a, b) -> le (of_expr a) (of_expr b)
+  | Lt (a, b) -> lt (of_expr a) (of_expr b)
+  | Eq (a, b) -> eq (of_expr a) (of_expr b)
+  | Isqrt a -> isqrt (of_expr a)
+
+let of_expr env e = cached env (cache_for env) e

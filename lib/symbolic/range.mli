@@ -39,4 +39,22 @@ val env_bindings : env -> (string * t) list
 val of_expr : env -> Expr.t -> t
 (** Range of an expression under variable ranges [env].  Sound
     over-approximation: evaluation under any environment consistent with
-    [env] (and not raising) lands in the result. *)
+    [env] (and not raising) lands in the result.
+
+    Results are memoized per environment (keyed by physical env identity,
+    so any [env_add] invalidates) in a bounded cache over hash-consed
+    expression nodes. *)
+
+type cache_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;  (** env LRU drops and per-env table flushes *)
+}
+
+val cache_stats : unit -> cache_stats
+(** Snapshot of the process-lifetime {!of_expr} cache counters. *)
+
+val reset_cache_stats : unit -> unit
+
+val clear_cache : unit -> unit
+(** Drop every cached environment table (counters are kept). *)

@@ -5,16 +5,29 @@ type stats = {
   mutable r4 : int;
   mutable r5 : int;
   mutable extra : int;
+  mutable passes : int;
+  mutable fuel_exhausted : int;
 }
 
-let stats () = { r1 = 0; r2 = 0; r3 = 0; r4 = 0; r5 = 0; extra = 0 }
+let stats () =
+  {
+    r1 = 0;
+    r2 = 0;
+    r3 = 0;
+    r4 = 0;
+    r5 = 0;
+    extra = 0;
+    passes = 0;
+    fuel_exhausted = 0;
+  }
+
 let total s = s.r1 + s.r2 + s.r3 + s.r4 + s.r5 + s.extra
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "r1(mod-split)=%d r2(recombine)=%d r3(div-elim)=%d r4(mod-elim)=%d \
-     r5(div-split)=%d extra=%d"
-    s.r1 s.r2 s.r3 s.r4 s.r5 s.extra
+     r5(div-split)=%d extra=%d passes=%d fuel-exhausted=%d"
+    s.r1 s.r2 s.r3 s.r4 s.r5 s.extra s.passes s.fuel_exhausted
 
 let terms (e : Expr.t) = match e with Add xs -> xs | e -> [ e ]
 
@@ -175,15 +188,115 @@ let rec rewrite_once ?stats env e =
   let e = Expr.map_children (rewrite_once ?stats env) e in
   rewrite_node ?stats env e
 
-let simplify ?stats ~env e =
-  let fuel = ref 64 in
+let default_fuel = 64
+
+(* ---- Memoized fixpoint driver ----------------------------------------- *)
+
+(* Rewriting is a pure function of (env, node), so both the single-pass
+   action and the full fixpoint result are cached per environment (keyed
+   by physical env identity, like the {!Range} and {!Prover} caches).
+   The memo is bypassed when the caller asks for a [stats] record, so
+   reported rule counts stay exact and deterministic. *)
+
+type cache_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let cache_counters = { hits = 0; misses = 0; evictions = 0 }
+
+let cache_stats () =
+  {
+    hits = cache_counters.hits;
+    misses = cache_counters.misses;
+    evictions = cache_counters.evictions;
+  }
+
+let reset_cache_stats () =
+  cache_counters.hits <- 0;
+  cache_counters.misses <- 0;
+  cache_counters.evictions <- 0
+
+type env_cache = {
+  rewrites : (Expr.t, Expr.t) Hashtbl.t;  (* one rewrite_once pass *)
+  results : (Expr.t, Expr.t) Hashtbl.t;  (* full fixpoint, default fuel *)
+}
+
+let max_cached_envs = 8
+let max_cache_entries = 1 lsl 16
+let env_caches : (Range.env * env_cache) list ref = ref []
+
+let clear_cache () = env_caches := []
+
+let cache_for env =
+  match List.find_opt (fun (e, _) -> e == env) !env_caches with
+  | Some (_, c) -> c
+  | None ->
+    let c = { rewrites = Hashtbl.create 256; results = Hashtbl.create 64 } in
+    let kept = List.filteri (fun i _ -> i < max_cached_envs - 1) !env_caches in
+    if List.compare_length_with !env_caches (max_cached_envs - 1) > 0 then
+      cache_counters.evictions <- cache_counters.evictions + 1;
+    env_caches := (env, c) :: kept;
+    c
+
+let memo_find tbl e =
+  match Hashtbl.find_opt tbl e with
+  | Some r ->
+    cache_counters.hits <- cache_counters.hits + 1;
+    Some r
+  | None ->
+    cache_counters.misses <- cache_counters.misses + 1;
+    None
+
+let memo_add tbl e r =
+  if Hashtbl.length tbl >= max_cache_entries then begin
+    Hashtbl.reset tbl;
+    cache_counters.evictions <- cache_counters.evictions + 1
+  end;
+  Hashtbl.add tbl e r
+
+let rec rewrite_memo env cache (e : Expr.t) =
+  match e with
+  | Expr.Const _ | Expr.Var _ -> e
+  | _ -> (
+    match memo_find cache.rewrites e with
+    | Some r -> r
+    | None ->
+      let e' = Expr.map_children (rewrite_memo env cache) e in
+      let r = rewrite_node env e' in
+      memo_add cache.rewrites e r;
+      r)
+
+let run_fixpoint ?stats ~fuel ~pass e =
+  let bump f = Option.iter f stats in
+  let left = ref fuel in
   let cur = ref e in
   let continue_ = ref true in
-  while !continue_ && !fuel > 0 do
-    decr fuel;
-    let next = rewrite_once ?stats env !cur in
+  while !continue_ && !left > 0 do
+    decr left;
+    bump (fun s -> s.passes <- s.passes + 1);
+    let next = pass !cur in
     if Expr.equal next !cur then continue_ := false else cur := next
   done;
+  (* Loop left while still making progress: the result is sound but may
+     not be a fixpoint. *)
+  if !continue_ then bump (fun s -> s.fuel_exhausted <- s.fuel_exhausted + 1);
   !cur
 
-let simplify_closed e = simplify ~env:Range.empty_env e
+let simplify ?stats ?(fuel = default_fuel) ~env e =
+  match stats with
+  | Some _ -> run_fixpoint ?stats ~fuel ~pass:(rewrite_once ?stats env) e
+  | None ->
+    let cache = cache_for env in
+    if fuel = default_fuel then
+      match memo_find cache.results e with
+      | Some r -> r
+      | None ->
+        let r = run_fixpoint ~fuel ~pass:(rewrite_memo env cache) e in
+        memo_add cache.results e r;
+        r
+    else run_fixpoint ~fuel ~pass:(rewrite_memo env cache) e
+
+let simplify_closed ?stats ?fuel e =
+  simplify ?stats ?fuel ~env:Range.empty_env e

@@ -23,17 +23,45 @@ type stats = {
   mutable r4 : int;
   mutable r5 : int;
   mutable extra : int;
+  mutable passes : int;  (** rewrite passes consumed (fuel spent) *)
+  mutable fuel_exhausted : int;
+      (** simplifications that ran out of fuel while still making
+          progress (the result is sound but may not be a fixpoint) *)
 }
 
 val stats : unit -> stats
+
 val total : stats -> int
+(** Total rule applications ([passes]/[fuel_exhausted] excluded). *)
+
 val pp_stats : Format.formatter -> stats -> unit
+
+val default_fuel : int
 
 val rewrite_once : ?stats:stats -> Range.env -> Expr.t -> Expr.t
 (** One bottom-up pass applying every rule at every node. *)
 
-val simplify : ?stats:stats -> env:Range.env -> Expr.t -> Expr.t
-(** Iterate {!rewrite_once} to a fixpoint (bounded fuel). *)
+val simplify : ?stats:stats -> ?fuel:int -> env:Range.env -> Expr.t -> Expr.t
+(** Iterate {!rewrite_once} to a fixpoint, bounded by [fuel]
+    (default {!default_fuel}) passes; exhaustion is observable via
+    [stats.fuel_exhausted].
 
-val simplify_closed : Expr.t -> Expr.t
+    When no [stats] record is passed, per-pass rewrites and full fixpoint
+    results are memoized per environment (physical env identity, like the
+    {!Range} cache); passing [stats] bypasses the memo so the reported
+    rule counts stay exact. *)
+
+type cache_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+val cache_stats : unit -> cache_stats
+(** Snapshot of the process-lifetime simplify-memo counters. *)
+
+val reset_cache_stats : unit -> unit
+val clear_cache : unit -> unit
+
+val simplify_closed : ?stats:stats -> ?fuel:int -> Expr.t -> Expr.t
 (** {!simplify} under the empty range environment. *)

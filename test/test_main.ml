@@ -3,6 +3,7 @@ let () =
     [
       Test_layout.suite;
       Test_symbolic.suite;
+      Test_simplify_fuzz.suite;
       Test_affine.suite;
       Test_lang.suite;
       Test_codegen.suite;

@@ -1,0 +1,140 @@
+(* Semantics-preservation fuzz for the simplifier over the Table-1 corpus
+   of bench/main.ml: for every layout, the raw and simplified symbolic
+   apply/inv expressions must agree on every in-range index point, and
+   the layout itself must be a bijection (Check.layout). *)
+
+open Lego_symbolic
+module E = Expr
+module L = Lego_layout
+
+let corpus =
+  [
+    ( "row-major tiled A (DL_a)",
+      L.Sugar.tiled_view ~group:[ [ 8; 4 ]; [ 16; 32 ] ] () );
+    ( "column-major tiled A^T",
+      L.Sugar.tiled_view
+        ~order:[ L.Sugar.col [ 128; 128 ] ]
+        ~group:[ [ 8; 4 ]; [ 16; 32 ] ]
+        () );
+    ( "grouped program ids (CL)",
+      L.Sugar.tiled_view
+        ~order:[ L.Sugar.col [ 4; 1 ]; L.Sugar.col [ 8; 16 ] ]
+        ~group:[ [ 32; 16 ] ] () );
+    ( "anti-diagonal NW buffer",
+      L.Group_by.make
+        ~chain:[ L.Order_by.make [ L.Gallery.antidiag 17 ] ]
+        [ [ 17; 17 ] ] );
+    ( "Z-Morton 16x16",
+      L.Group_by.make
+        ~chain:[ L.Order_by.make [ L.Gallery.morton ~d:2 ~bits:4 ] ]
+        [ [ 16; 16 ] ] );
+    ( "figure 9 ensemble",
+      L.Group_by.make
+        ~chain:
+          [
+            L.Order_by.make
+              [
+                L.Piece.reg ~dims:[ 2; 2 ] ~sigma:(L.Sigma.of_one_based [ 2; 1 ]);
+                L.Gallery.antidiag 3;
+              ];
+            L.Order_by.make
+              [
+                L.Piece.reg ~dims:[ 2; 3; 2; 3 ]
+                  ~sigma:(L.Sigma.of_one_based [ 1; 3; 2; 4 ]);
+              ];
+          ]
+        [ [ 6; 6 ] ] );
+  ]
+
+let var_names dims = List.mapi (fun k _ -> Printf.sprintf "i%d" k) dims
+
+let test_gallery_bijections () =
+  List.iter
+    (fun (name, layout) ->
+      match L.Check.layout layout with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: not a bijection: %s" name e)
+    corpus
+
+let test_apply_semantics_preserved () =
+  List.iter
+    (fun (name, layout) ->
+      let dims = L.Group_by.dims layout in
+      let names = var_names dims in
+      let env = Sym.ranges_of layout in
+      let raw = Sym.apply ~simplify:false layout in
+      let simplified = Simplify.simplify ~env raw in
+      Seq.iter
+        (fun idx ->
+          let bindings = List.combine names idx in
+          let lookup v = List.assoc v bindings in
+          let expect = E.eval ~env:lookup raw in
+          let got = E.eval ~env:lookup simplified in
+          if got <> expect then
+            Alcotest.failf "%s: apply disagrees at [%s]: raw %d, simplified %d"
+              name
+              (String.concat ", " (List.map string_of_int idx))
+              expect got)
+        (L.Shape.indices dims))
+    corpus
+
+let test_inv_semantics_preserved () =
+  List.iter
+    (fun (name, layout) ->
+      let numel = L.Group_by.numel layout in
+      let env = Range.env_of_list [ ("p", Range.of_extent numel) ] in
+      let raw = Sym.inv ~simplify:false layout in
+      let simplified = List.map (Simplify.simplify ~env) raw in
+      for p = 0 to numel - 1 do
+        let lookup v =
+          if v = "p" then p else Alcotest.failf "unexpected var %s" v
+        in
+        List.iteri
+          (fun k (r, s) ->
+            let expect = E.eval ~env:lookup r in
+            let got = E.eval ~env:lookup s in
+            if got <> expect then
+              Alcotest.failf
+                "%s: inv component %d disagrees at p=%d: raw %d, simplified %d"
+                name k p expect got)
+          (List.combine raw simplified)
+      done)
+    corpus
+
+let test_simplified_apply_matches_concrete () =
+  (* Not just raw == simplified: the simplified symbolic apply must also
+     match the concrete integer-domain layout on every point. *)
+  List.iter
+    (fun (name, layout) ->
+      let dims = L.Group_by.dims layout in
+      let names = var_names dims in
+      let env = Sym.ranges_of layout in
+      let simplified =
+        Simplify.simplify ~env (Sym.apply ~simplify:false layout)
+      in
+      Seq.iter
+        (fun idx ->
+          let bindings = List.combine names idx in
+          let lookup v = List.assoc v bindings in
+          let expect = L.Group_by.apply_ints layout idx in
+          let got = E.eval ~env:lookup simplified in
+          if got <> expect then
+            Alcotest.failf "%s: symbolic apply disagrees at [%s]: %d vs %d"
+              name
+              (String.concat ", " (List.map string_of_int idx))
+              got expect)
+        (L.Shape.indices dims))
+    corpus
+
+let suite =
+  ( "simplify-fuzz",
+    [
+      Alcotest.test_case "gallery layouts are bijections" `Quick
+        test_gallery_bijections;
+      Alcotest.test_case "apply: raw == simplified on all points" `Quick
+        test_apply_semantics_preserved;
+      Alcotest.test_case "inv: raw == simplified on all points" `Quick
+        test_inv_semantics_preserved;
+      Alcotest.test_case "simplified apply == concrete layout" `Quick
+        test_simplified_apply_matches_concrete;
+    ] )

@@ -30,6 +30,41 @@ let test_distribute_const_over_sum () =
   (* Needed so that differences of equal sums cancel (prover precision). *)
   check_str "-(x+y)+x+y" "0" (E.to_string E.(add (neg (add x y)) (add x y)))
 
+let test_overflow_safe_folding () =
+  (* max_int * 2 used to wrap to Const (-2); it must stay symbolic. *)
+  (match E.(mul (const max_int) (const 2)) with
+  | E.Const n -> Alcotest.failf "max_int * 2 folded to constant %d" n
+  | _ -> ());
+  (match E.(add (const max_int) (const max_int)) with
+  | E.Const n -> Alcotest.failf "max_int + max_int folded to constant %d" n
+  | _ -> ());
+  (* min_int / -1 is the one constant floor_div that overflows. *)
+  (match E.(div (const min_int) (const (-1))) with
+  | E.Const n -> Alcotest.failf "min_int / -1 folded to constant %d" n
+  | _ -> ());
+  (match E.(md (const min_int) (const (-1))) with
+  | E.Const n -> Alcotest.failf "min_int mod -1 folded to constant %d" n
+  | _ -> ());
+  (* Distribution over a sum is skipped when a coefficient would wrap. *)
+  let e = E.(mul (const max_int) (add x (const 3))) in
+  (match e with
+  | E.Const n -> Alcotest.failf "max_int * (x+3) folded to constant %d" n
+  | _ -> ());
+  (* In-range folds still happen. *)
+  check_str "in-range product" "6" (E.to_string E.(mul (const 2) (const 3)));
+  check_str "in-range quotient" "-4"
+    (E.to_string E.(div (const (-7)) (const 2)))
+
+let test_hash_consing () =
+  (* Structurally equal expressions built separately share one node. *)
+  let a = E.(add (mul (const 3) x) y) in
+  let b = E.(add (mul (const 3) x) y) in
+  Alcotest.(check bool) "physically equal" true (a == b);
+  Alcotest.(check bool) "equal" true (E.equal a b);
+  let stats = E.intern_stats () in
+  Alcotest.(check bool) "intern hits recorded" true (stats.E.hits > 0);
+  Alcotest.(check bool) "live nodes tracked" true (E.intern_size () > 0)
+
 let test_div_mod_units () =
   check_str "x/1" "x" (E.to_string E.(div x (const 1)));
   check_str "x mod 1" "0" (E.to_string E.(md x (const 1)));
@@ -149,6 +184,49 @@ let test_nested_div_mod () =
     (E.to_string (Simplify.simplify ~env E.(div (div x (const 4)) (const 8))));
   check_str "(x mod 12) mod 4 -> x mod 4" "x % 4"
     (E.to_string (Simplify.simplify ~env E.(md (md x (const 12)) (const 4))))
+
+let test_fuel_exhaustion_observable () =
+  (* (6q + r) mod 6 needs two passes: rule 1 to r mod 6, then rule 4 to r.
+     With fuel for a single pass the driver must report exhaustion. *)
+  let e = E.(md (add (mul (const 6) q) r) (const 6)) in
+  let stats = Simplify.stats () in
+  let partial = Simplify.simplify ~stats ~fuel:1 ~env:env_qr e in
+  check_str "one pass stops at r mod 6" "r % 6" (E.to_string partial);
+  check_int "fuel exhausted once" 1 stats.Simplify.fuel_exhausted;
+  check_int "one pass consumed" 1 stats.Simplify.passes;
+  let stats = Simplify.stats () in
+  let full = Simplify.simplify ~stats ~env:env_qr e in
+  check_str "full fuel reaches fixpoint" "r" (E.to_string full);
+  check_int "no exhaustion at default fuel" 0 stats.Simplify.fuel_exhausted;
+  Alcotest.(check bool) "multiple passes consumed" true
+    (stats.Simplify.passes >= 2)
+
+let test_prover_reset_snapshot () =
+  Prover.reset ();
+  let before = Prover.snapshot () in
+  check_int "queries zero after reset" 0 before.Prover.queries;
+  Alcotest.(check bool) "goal proves" true (Prover.nonneg env_qr q);
+  let after = Prover.snapshot () in
+  let delta = Prover.diff after before in
+  check_int "one query recorded" 1 delta.Prover.queries;
+  check_int "one goal proved" 1 delta.Prover.proved;
+  (* The snapshot is a copy, not an alias of the live counters. *)
+  ignore (Prover.nonneg env_qr q);
+  check_int "snapshot is immutable" 1 after.Prover.queries;
+  Prover.reset ();
+  check_int "reset zeroes globals" 0 Prover.global_stats.Prover.queries
+
+let test_simplify_memo_consistent () =
+  (* The memoized (stats-less) path and the exact (stats) path agree. *)
+  let e = E.(div (add (mul (const 6) q) r) (const 6)) in
+  let with_stats =
+    Simplify.simplify ~stats:(Simplify.stats ()) ~env:env_qr e
+  in
+  let memo1 = Simplify.simplify ~env:env_qr e in
+  let memo2 = Simplify.simplify ~env:env_qr e in
+  Alcotest.(check bool) "stats path == memo path" true
+    (E.equal with_stats memo1);
+  Alcotest.(check bool) "memo is stable" true (memo1 == memo2)
 
 let test_simplify_is_sound_on_samples () =
   (* Differential: simplified expression evaluates identically. *)
@@ -322,6 +400,9 @@ let suite =
   ( "symbolic",
     [
       Alcotest.test_case "constant folding" `Quick test_constant_folding;
+      Alcotest.test_case "overflow-safe constant folding" `Quick
+        test_overflow_safe_folding;
+      Alcotest.test_case "hash-consing" `Quick test_hash_consing;
       Alcotest.test_case "like terms" `Quick test_like_terms;
       Alcotest.test_case "constant distributes over lone sum" `Quick
         test_distribute_const_over_sum;
@@ -341,6 +422,12 @@ let suite =
       Alcotest.test_case "unconditioned pull-out" `Quick
         test_pullout_without_bound;
       Alcotest.test_case "nested div/mod" `Quick test_nested_div_mod;
+      Alcotest.test_case "fuel exhaustion observable" `Quick
+        test_fuel_exhaustion_observable;
+      Alcotest.test_case "prover reset/snapshot" `Quick
+        test_prover_reset_snapshot;
+      Alcotest.test_case "simplify memo consistent" `Quick
+        test_simplify_memo_consistent;
       Alcotest.test_case "simplify sound on exhaustive samples" `Quick
         test_simplify_is_sound_on_samples;
       Alcotest.test_case "expansion" `Quick test_expand;
