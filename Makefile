@@ -1,13 +1,19 @@
 # Tier-1 gate: the repo must build and its test suite must pass.
-.PHONY: check build test bench clean
+.PHONY: check build test conform bench clean
 
-check: build test
+check: build test conform
 
 build:
 	dune build
 
 test:
 	dune runtest
+
+# Differential conformance: interpreter vs symbolic vs C vs MLIR over the
+# gallery corpus plus seeded random layouts.  Bounded by a wall-clock
+# budget; override the stream with CONFORM_SEED / CONFORM_ITERS.
+conform:
+	dune exec bin/legoc.exe -- conform --budget 30
 
 bench:
 	dune exec bench/main.exe

@@ -39,42 +39,7 @@ let engine_counters () =
 
 let table1 () =
   header "Table 1: div/mod simplification rules on layout-generated indices";
-  let corpus =
-    [
-      ("row-major tiled A (DL_a)",
-       L.Sugar.tiled_view ~group:[ [ 8; 4 ]; [ 16; 32 ] ] ());
-      ("column-major tiled A^T",
-       L.Sugar.tiled_view ~order:[ L.Sugar.col [ 128; 128 ] ]
-         ~group:[ [ 8; 4 ]; [ 16; 32 ] ] ());
-      ("grouped program ids (CL)",
-       L.Sugar.tiled_view
-         ~order:[ L.Sugar.col [ 4; 1 ]; L.Sugar.col [ 8; 16 ] ]
-         ~group:[ [ 32; 16 ] ] ());
-      ("anti-diagonal NW buffer",
-       L.Group_by.make ~chain:[ L.Order_by.make [ L.Gallery.antidiag 17 ] ]
-         [ [ 17; 17 ] ]);
-      ("Z-Morton 16x16",
-       L.Group_by.make
-         ~chain:[ L.Order_by.make [ L.Gallery.morton ~d:2 ~bits:4 ] ]
-         [ [ 16; 16 ] ]);
-      ("figure 9 ensemble",
-       L.Group_by.make
-         ~chain:
-           [
-             L.Order_by.make
-               [
-                 L.Piece.reg ~dims:[ 2; 2 ] ~sigma:(L.Sigma.of_one_based [ 2; 1 ]);
-                 L.Gallery.antidiag 3;
-               ];
-             L.Order_by.make
-               [
-                 L.Piece.reg ~dims:[ 2; 3; 2; 3 ]
-                   ~sigma:(L.Sigma.of_one_based [ 1; 3; 2; 4 ]);
-               ];
-           ]
-         [ [ 6; 6 ] ]);
-    ]
-  in
+  let corpus = Lego_conform.Corpus.all in
   row "%-28s %6s %6s %6s %6s %6s %6s | %9s %9s | %15s\n" "layout" "r1" "r2"
     "r3" "r4" "r5" "extra" "ops-raw" "ops-simpl" "prover p/q";
   let totals = S.Simplify.stats () in
@@ -261,6 +226,22 @@ let ablation () =
     cases;
   row "(the cost model keeps the cheaper variant, as the paper does for NW)\n"
 
+(* ---- Conformance: four-semantics differential check -------------------- *)
+
+let conform () =
+  header "Conformance: interpreter vs symbolic vs C vs MLIR";
+  let report = Lego_conform.Conform.run ~random:100 ~seed:42 () in
+  let open Lego_conform.Conform in
+  row "%-24s %10d\n" "layouts" report.layouts;
+  row "%-24s %10d\n" "points" report.points;
+  row "%-24s %10d\n" "C-guard-skipped" report.c_skipped;
+  row "%-24s %10d\n" "mismatches" (List.length report.failures);
+  row "%-24s %10.0f points/s\n" "throughput"
+    (float_of_int report.points /. report.seconds);
+  List.iter
+    (fun f -> row "%s\n" (Format.asprintf "%a" pp_failure f))
+    report.failures
+
 (* ---- Bechamel micro-benchmarks ----------------------------------------- *)
 
 let micro () =
@@ -337,6 +318,7 @@ let experiments =
     ("fig13", fig13);
     ("fig14", fig14);
     ("ablation", ablation);
+    ("conform", conform);
     ("micro", micro);
   ]
 

@@ -95,12 +95,119 @@ let run layout_text table apply_idx inv_p emit_c emit_triton emit_mlir check =
     end;
     0
 
-let cmd =
+(* ---- legoc conform: the differential conformance harness -------------- *)
+
+let seed_arg =
+  let env = Cmd.Env.info "CONFORM_SEED" ~doc:"Random-layout stream seed." in
+  Arg.(
+    value
+    & opt int 42
+    & info [ "seed" ] ~env ~docv:"SEED"
+        ~doc:"Seed for the random layout stream.")
+
+let iters_arg =
+  let env = Cmd.Env.info "CONFORM_ITERS" ~doc:"Number of random layouts." in
+  Arg.(
+    value
+    & opt int 200
+    & info [ "iters" ] ~env ~docv:"N"
+        ~doc:"Number of seeded random layouts to cross-check.")
+
+let max_points_arg =
+  Arg.(
+    value
+    & opt int 2048
+    & info [ "max-points" ] ~docv:"N"
+        ~doc:
+          "Exhaustive check threshold: layouts with at most $(docv) \
+           elements are checked on every point (with a bijectivity \
+           check); larger ones on $(docv) seeded samples.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt float 30.
+    & info [ "budget" ] ~docv:"SECONDS"
+        ~doc:
+          "Stop generating random layouts once this much wall-clock time \
+           has elapsed (already-started layouts finish).")
+
+let skip_gallery_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "skip-gallery" ] ~doc:"Skip the fixed gallery corpus.")
+
+let break_simplify_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "break-simplify" ]
+        ~doc:
+          "TEST ONLY: enable a deliberately wrong simplifier rule to \
+           verify the harness catches and shrinks it (the run is expected \
+           to fail).")
+
+let run_conform seed iters max_points budget skip_gallery break_simplify =
+  if break_simplify then Lego_symbolic.Simplify.set_test_only_break_rule true;
+  let report =
+    Lego_conform.Conform.run ~gallery:(not skip_gallery) ~random:iters ~seed
+      ~max_points ~budget_s:budget
+      ~progress:(fun line -> Printf.eprintf "%s\n%!" line)
+      ()
+  in
+  if break_simplify then Lego_symbolic.Simplify.set_test_only_break_rule false;
+  Format.printf "%a@." Lego_conform.Conform.pp_report report;
+  if report.Lego_conform.Conform.failures = [] then 0 else 1
+
+let conform_cmd =
+  let doc =
+    "differentially test the four layout semantics against each other"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Cross-checks the reference interpreter, the simplified symbolic \
+         expressions, the C backend (under C's truncating division) and \
+         the MLIR backend on concrete points, over the built-in gallery \
+         corpus plus a stream of seeded random layouts.  Exits non-zero \
+         on any disagreement, printing a shrunk minimal layout and the \
+         seed that reproduces it.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "conform" ~doc ~man)
+    Term.(
+      const run_conform $ seed_arg $ iters_arg $ max_points_arg $ budget_arg
+      $ skip_gallery_flag $ break_simplify_flag)
+
+let layout_cmd =
   let doc = "derive index mappings from LEGO layout expressions" in
-  let info = Cmd.info "legoc" ~version:"1.0.0" ~doc in
-  Cmd.v info
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "See also: $(b,legoc conform), the differential conformance \
+         harness for the layout backends.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "legoc" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ layout_arg $ table_flag $ apply_arg $ inv_arg $ c_flag
       $ triton_flag $ mlir_flag $ check_flag)
 
-let () = exit (Cmd.eval' cmd)
+let subcommands =
+  let doc = "derive index mappings from LEGO layout expressions" in
+  Cmd.group (Cmd.info "legoc" ~version:"1.0.0" ~doc) [ conform_cmd ]
+
+(* A layout expression is a positional argument, which cmdliner's command
+   groups would swallow as an (unknown) sub-command name — so dispatch on
+   the first word ourselves: known sub-commands go through the group,
+   anything else is the classic layout CLI. *)
+let () =
+  let is_subcommand =
+    Array.length Sys.argv > 1 && List.mem Sys.argv.(1) [ "conform" ]
+  in
+  exit (Cmd.eval' (if is_subcommand then subcommands else layout_cmd))

@@ -1,31 +1,81 @@
-let marker_re = Str.regexp "{{ *\\([A-Za-z_][A-Za-z0-9_]*\\) *}}"
+(* Self-contained marker scanner.  The previous implementation used the
+   [Str] library, whose global match state is non-reentrant — unsafe once
+   templates are rendered inside the conformance harness's loops.  A
+   marker is "{{", any number of spaces, an identifier, any number of
+   spaces, "}}"; anything else (including a lone "{{") is literal text. *)
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+
+(* [next_marker tpl pos] finds the first marker at or after [pos]:
+   [Some (start, stop, name)] with [stop] one past the closing braces. *)
+let next_marker tpl pos =
+  let n = String.length tpl in
+  let try_match start =
+    let i = ref (start + 2) in
+    while !i < n && tpl.[!i] = ' ' do
+      incr i
+    done;
+    if !i < n && is_ident_start tpl.[!i] then begin
+      let id0 = !i in
+      while !i < n && is_ident tpl.[!i] do
+        incr i
+      done;
+      let name = String.sub tpl id0 (!i - id0) in
+      while !i < n && tpl.[!i] = ' ' do
+        incr i
+      done;
+      if !i + 1 < n && tpl.[!i] = '}' && tpl.[!i + 1] = '}' then
+        Some (start, !i + 2, name)
+      else None
+    end
+    else None
+  in
+  let rec find i =
+    if i + 1 >= n then None
+    else if tpl.[i] = '{' && tpl.[i + 1] = '{' then
+      match try_match i with Some m -> Some m | None -> find (i + 1)
+    else find (i + 1)
+  in
+  find pos
+
+(* Fold [f] over every marker left to right. *)
+let fold_markers tpl ~literal ~marker acc =
+  let rec go acc pos =
+    match next_marker tpl pos with
+    | None -> literal acc (String.sub tpl pos (String.length tpl - pos))
+    | Some (start, stop, name) ->
+      let acc = literal acc (String.sub tpl pos (start - pos)) in
+      go (marker acc name) stop
+  in
+  go acc 0
 
 let placeholders tpl =
-  let rec go acc pos =
-    match Str.search_forward marker_re tpl pos with
-    | exception Not_found -> List.rev acc
-    | start ->
-      let name = Str.matched_group 1 tpl in
-      let acc = if List.mem name acc then acc else name :: acc in
-      go acc (start + String.length (Str.matched_string tpl))
-  in
-  go [] 0
+  List.rev
+    (fold_markers tpl
+       ~literal:(fun acc _ -> acc)
+       ~marker:(fun acc name -> if List.mem name acc then acc else name :: acc)
+       [])
 
 let render ~bindings tpl =
-  let missing = ref [] in
-  let result =
-    Str.global_substitute marker_re
-      (fun whole ->
-        let name = Str.matched_group 1 whole in
+  let buf = Buffer.create (String.length tpl) in
+  let missing =
+    fold_markers tpl
+      ~literal:(fun acc s ->
+        Buffer.add_string buf s;
+        acc)
+      ~marker:(fun acc name ->
         match List.assoc_opt name bindings with
-        | Some value -> value
-        | None ->
-          if not (List.mem name !missing) then missing := name :: !missing;
-          "")
-      tpl
+        | Some value ->
+          Buffer.add_string buf value;
+          acc
+        | None -> if List.mem name acc then acc else name :: acc)
+      []
   in
-  match !missing with
-  | [] -> Ok result
+  match missing with
+  | [] -> Ok (Buffer.contents buf)
   | names ->
     Error
       (Printf.sprintf "template: unbound placeholders: %s"

@@ -56,12 +56,34 @@ let components_of indices dims =
 let broadcast ~nslices k =
   if nslices = 1 then "" else if k = 0 then "[:, None]" else "[None, :]"
 
+(* Literal substring replacement (the arange variables are generated
+   names, so no overlap subtleties arise). *)
+let replace_all ~sub ~by text =
+  let sn = String.length sub and n = String.length text in
+  if sn = 0 then text
+  else begin
+    let buf = Buffer.create n in
+    let i = ref 0 in
+    while !i <= n - sn do
+      if String.sub text !i sn = sub then begin
+        Buffer.add_string buf by;
+        i := !i + sn
+      end
+      else begin
+        Buffer.add_char buf text.[!i];
+        incr i
+      end
+    done;
+    Buffer.add_string buf (String.sub text !i (n - !i));
+    Buffer.contents buf
+  end
+
 let render_with_aranges ~slice_info text =
   let nslices = List.length slice_info in
   List.fold_left
     (fun text (k, (v, extent)) ->
-      Str.global_replace (Str.regexp_string v)
-        (Printf.sprintf "tl.arange(0, %d)%s" extent (broadcast ~nslices k))
+      replace_all ~sub:v
+        ~by:(Printf.sprintf "tl.arange(0, %d)%s" extent (broadcast ~nslices k))
         text)
     text
     (List.mapi (fun k b -> (k, b)) slice_info)

@@ -1,0 +1,251 @@
+type t =
+  | Int of int
+  | Var of string
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Le of t * t
+  | Lt of t * t
+  | Eq of t * t
+  | Cond of t * t * t
+  | Isqrt of t
+
+(* ---- Tokenizer -------------------------------------------------------- *)
+
+type token =
+  | TInt of int
+  | TIdent of string
+  | TPlus
+  | TMinus
+  | TStar
+  | TSlash
+  | TPercent
+  | TLParen
+  | TRParen
+  | TQuestion
+  | TColon
+  | TLe
+  | TLt
+  | TEqEq
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      let digits = String.sub src start (!i - start) in
+      match int_of_string_opt digits with
+      | Some v -> push (TInt v)
+      | None -> fail "integer literal %s does not fit" digits
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      push (TIdent (String.sub src start (!i - start)))
+    end
+    else begin
+      (match c with
+      | '+' -> push TPlus
+      | '-' -> push TMinus
+      | '*' -> push TStar
+      | '/' -> push TSlash
+      | '%' -> push TPercent
+      | '(' -> push TLParen
+      | ')' -> push TRParen
+      | '?' -> push TQuestion
+      | ':' -> push TColon
+      | '<' ->
+        if !i + 1 < n && src.[!i + 1] = '=' then begin
+          incr i;
+          push TLe
+        end
+        else push TLt
+      | '=' ->
+        if !i + 1 < n && src.[!i + 1] = '=' then begin
+          incr i;
+          push TEqEq
+        end
+        else fail "stray '=' at offset %d" !i
+      | c -> fail "unexpected character %C at offset %d" c !i);
+      incr i
+    end
+  done;
+  List.rev !toks
+
+(* ---- Recursive-descent parser ----------------------------------------- *)
+
+type state = { mutable rest : token list }
+
+let peek s = match s.rest with [] -> None | t :: _ -> Some t
+
+let advance s =
+  match s.rest with
+  | [] -> fail "unexpected end of expression"
+  | t :: rest ->
+    s.rest <- rest;
+    t
+
+let expect s t what =
+  let got = advance s in
+  if got <> t then fail "expected %s" what
+
+(* expr   := rel ('?' expr ':' expr)?          (right-assoc ternary)
+   rel    := add (('<=' | '<' | '==') add)*
+   add    := mul (('+' | '-') mul)*
+   mul    := unary (('*' | '/' | '%') unary)*
+   unary  := '-' unary | primary
+   primary:= int | ident | 'lego_isqrt' '(' expr ')' | '(' expr ')' *)
+let rec p_expr s =
+  let c = p_rel s in
+  match peek s with
+  | Some TQuestion ->
+    ignore (advance s);
+    let a = p_expr s in
+    expect s TColon "':'";
+    let b = p_expr s in
+    Cond (c, a, b)
+  | _ -> c
+
+and p_rel s =
+  let rec loop acc =
+    match peek s with
+    | Some TLe ->
+      ignore (advance s);
+      loop (Le (acc, p_add s))
+    | Some TLt ->
+      ignore (advance s);
+      loop (Lt (acc, p_add s))
+    | Some TEqEq ->
+      ignore (advance s);
+      loop (Eq (acc, p_add s))
+    | _ -> acc
+  in
+  loop (p_add s)
+
+and p_add s =
+  let rec loop acc =
+    match peek s with
+    | Some TPlus ->
+      ignore (advance s);
+      loop (Add (acc, p_mul s))
+    | Some TMinus ->
+      ignore (advance s);
+      loop (Sub (acc, p_mul s))
+    | _ -> acc
+  in
+  loop (p_mul s)
+
+and p_mul s =
+  let rec loop acc =
+    match peek s with
+    | Some TStar ->
+      ignore (advance s);
+      loop (Mul (acc, p_unary s))
+    | Some TSlash ->
+      ignore (advance s);
+      loop (Div (acc, p_unary s))
+    | Some TPercent ->
+      ignore (advance s);
+      loop (Mod (acc, p_unary s))
+    | _ -> acc
+  in
+  loop (p_unary s)
+
+and p_unary s =
+  match peek s with
+  | Some TMinus ->
+    ignore (advance s);
+    Neg (p_unary s)
+  | _ -> p_primary s
+
+and p_primary s =
+  match advance s with
+  | TInt n -> Int n
+  | TIdent name -> (
+    match peek s with
+    | Some TLParen ->
+      if name <> "lego_isqrt" then fail "unknown function %s" name;
+      ignore (advance s);
+      let a = p_expr s in
+      expect s TRParen "')'";
+      Isqrt a
+    | _ -> Var name)
+  | TLParen ->
+    let e = p_expr s in
+    expect s TRParen "')'";
+    e
+  | _ -> fail "expected an integer, identifier or '('"
+
+let parse src =
+  match
+    let s = { rest = tokenize src } in
+    let e = p_expr s in
+    if s.rest <> [] then fail "trailing tokens after expression";
+    e
+  with
+  | e -> Ok e
+  | exception Error msg -> Error msg
+
+(* ---- Evaluation with C semantics -------------------------------------- *)
+
+let rec eval ~env (e : t) =
+  match e with
+  | Int n -> n
+  | Var v -> env v
+  | Neg a -> -eval ~env a
+  | Add (a, b) -> eval ~env a + eval ~env b
+  | Sub (a, b) -> eval ~env a - eval ~env b
+  | Mul (a, b) -> eval ~env a * eval ~env b
+  | Div (a, b) ->
+    (* OCaml's native (/) truncates toward zero — exactly C99. *)
+    eval ~env a / eval ~env b
+  | Mod (a, b) -> eval ~env a mod eval ~env b
+  | Le (a, b) -> if eval ~env a <= eval ~env b then 1 else 0
+  | Lt (a, b) -> if eval ~env a < eval ~env b then 1 else 0
+  | Eq (a, b) -> if eval ~env a = eval ~env b then 1 else 0
+  | Cond (c, a, b) -> if eval ~env c <> 0 then eval ~env a else eval ~env b
+  | Isqrt a -> Lego_layout.Domain.int_isqrt (eval ~env a)
+
+let rec to_string (e : t) =
+  let bin op a b =
+    Printf.sprintf "(%s %s %s)" (to_string a) op (to_string b)
+  in
+  match e with
+  | Int n -> string_of_int n
+  | Var v -> v
+  | Neg a -> Printf.sprintf "(-%s)" (to_string a)
+  | Add (a, b) -> bin "+" a b
+  | Sub (a, b) -> bin "-" a b
+  | Mul (a, b) -> bin "*" a b
+  | Div (a, b) -> bin "/" a b
+  | Mod (a, b) -> bin "%" a b
+  | Le (a, b) -> bin "<=" a b
+  | Lt (a, b) -> bin "<" a b
+  | Eq (a, b) -> bin "==" a b
+  | Cond (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (to_string c) (to_string a) (to_string b)
+  | Isqrt a -> Printf.sprintf "lego_isqrt(%s)" (to_string a)

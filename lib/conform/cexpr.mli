@@ -1,0 +1,40 @@
+(** C semantics for the C backend's emitted index expressions.
+
+    {!Lego_codegen.C_printer.expr} renders an index expression as C
+    source; this module parses exactly that output back and evaluates it
+    with C's arithmetic — [/] and [%] truncate toward zero (C99 6.5.5),
+    unlike the algebra's floor semantics.  The conformance harness runs
+    both sides on concrete points, so any place where truncation would
+    change a result (and {!Lego_codegen.C_printer.guard_nonneg} failed to
+    flag it) shows up as a mismatch. *)
+
+type t =
+  | Int of int
+  | Var of string
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t  (** truncating, like C [/] *)
+  | Mod of t * t  (** truncating, like C [%] *)
+  | Le of t * t
+  | Lt of t * t
+  | Eq of t * t
+  | Cond of t * t * t  (** [c ? a : b]; only the taken branch evaluates *)
+  | Isqrt of t  (** the [lego_isqrt] helper *)
+
+val parse : string -> (t, string) result
+(** Parse a C integer expression over [int] variables: literals,
+    identifiers, [+ - * / %], comparisons [<= < ==], [?:], parentheses,
+    unary minus and [lego_isqrt(e)] calls — the exact language
+    {!Lego_codegen.C_printer} emits. *)
+
+val eval : env:(string -> int) -> t -> int
+(** Evaluate with C semantics: division/modulo truncate toward zero
+    (OCaml's native [/] and [mod]), comparisons yield 0/1.  Raises
+    [Division_by_zero], and [Invalid_argument] for [lego_isqrt] of a
+    negative value. *)
+
+val to_string : t -> string
+(** Debug printer (fully parenthesized; not necessarily the original
+    text). *)

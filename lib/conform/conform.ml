@@ -1,0 +1,211 @@
+module L = Lego_layout
+module S = Lego_symbolic
+module Cp = Lego_codegen.C_printer
+module Mg = Lego_codegen.Mlir_gen
+module Mp = Lego_mlirsim.Mparser
+module Mi = Lego_mlirsim.Minterp
+
+type mismatch = { stage : string; detail : string }
+type outcome = { points : int; c_checked : bool; mismatch : mismatch option }
+
+exception Found of mismatch
+
+let found stage fmt =
+  Printf.ksprintf (fun detail -> raise (Found { stage; detail })) fmt
+
+let pp_ints l = "[" ^ String.concat ", " (List.map string_of_int l) ^ "]"
+
+let default_max_points = 2048
+
+let check_layout ?(max_points = default_max_points) ?(sample_seed = 0) g =
+  let n = L.Group_by.numel g in
+  let dims = L.Group_by.dims g in
+  let names = List.mapi (fun k _ -> Printf.sprintf "i%d" k) dims in
+  let points = ref 0 in
+  let c_active = ref false in
+  let mismatch =
+    try
+      (* Semantics (b): simplified symbolic expressions. *)
+      let env_a = S.Sym.ranges_of g in
+      let apply_sym = S.Sym.apply g in
+      let inv_sym = S.Sym.inv g in
+      let env_p = S.Range.env_of_list [ ("p", S.Range.of_extent n) ] in
+      (* Semantics (c): the C backend's text under C arithmetic.  When
+         the guard cannot prove truncation harmless the backend would
+         refuse the expression, so the C leg is skipped and counted. *)
+      let c_guard_ok =
+        Cp.guard_nonneg ~env:env_a apply_sym = Ok ()
+        && List.for_all (fun e -> Cp.guard_nonneg ~env:env_p e = Ok ()) inv_sym
+      in
+      let reparse e =
+        let src = Cp.expr e in
+        match Cexpr.parse src with
+        | Ok t -> t
+        | Error msg -> found "c-reparse" "cannot reparse %S: %s" src msg
+      in
+      let c_apply, c_inv =
+        if c_guard_ok then (Some (reparse apply_sym), List.map reparse inv_sym)
+        else (None, [])
+      in
+      c_active := c_guard_ok;
+      (* Semantics (d): the MLIR backend, run by the interpreter. *)
+      let m_apply = Mp.parse_module (Mg.layout_apply_func ~name:"apply" g) in
+      let m_inv = Mp.parse_module (Mg.layout_inv_func ~name:"inv" g) in
+      let seen = if n <= max_points then Some (Array.make n false) else None in
+      let check_point idx =
+        incr points;
+        let pt = pp_ints idx in
+        (* Semantics (a): the reference interpreter. *)
+        let p = L.Group_by.apply_ints g idx in
+        if p < 0 || p >= n then
+          found "interp-bounds" "apply %s = %d, outside [0, %d)" pt p n;
+        (match seen with
+        | Some hit ->
+          if hit.(p) then
+            found "interp-injective" "offset %d produced twice (again at %s)"
+              p pt;
+          hit.(p) <- true
+        | None -> ());
+        let back = L.Group_by.inv_ints g p in
+        if back <> idx then
+          found "interp-roundtrip" "inv (apply %s) = %s" pt (pp_ints back);
+        let bindings = List.combine names idx in
+        let lookup v = List.assoc v bindings in
+        let lookup_p v =
+          if v = "p" then p else failwith ("unbound variable " ^ v)
+        in
+        let sp = S.Expr.eval ~env:lookup apply_sym in
+        if sp <> p then
+          found "symbolic-apply" "at %s: interpreter %d, symbolic %d" pt p sp;
+        List.iteri
+          (fun k (e, want) ->
+            let got = S.Expr.eval ~env:lookup_p e in
+            if got <> want then
+              found "symbolic-inv"
+                "component %d at p = %d: interpreter %d, symbolic %d" k p want
+                got)
+          (List.combine inv_sym idx);
+        (match c_apply with
+        | Some ca ->
+          let cp = Cexpr.eval ~env:lookup ca in
+          if cp <> p then
+            found "c-apply" "at %s: interpreter %d, C %d" pt p cp;
+          List.iteri
+            (fun k (e, want) ->
+              let got = Cexpr.eval ~env:lookup_p e in
+              if got <> want then
+                found "c-inv" "component %d at p = %d: interpreter %d, C %d" k
+                  p want got)
+            (List.combine c_inv idx)
+        | None -> ());
+        (match Mi.run_func m_apply "apply" (List.map (fun i -> Mi.Int i) idx) with
+        | [ mp ] when mp = p -> ()
+        | [ mp ] -> found "mlir-apply" "at %s: interpreter %d, MLIR %d" pt p mp
+        | rs ->
+          found "mlir-apply" "expected one result, got %d" (List.length rs));
+        let mback = Mi.run_func m_inv "inv" [ Mi.Int p ] in
+        if mback <> idx then
+          found "mlir-inv" "at p = %d: interpreter %s, MLIR %s" p (pp_ints idx)
+            (pp_ints mback)
+      in
+      (match seen with
+      | Some _ -> Seq.iter check_point (L.Shape.indices dims)
+      | None ->
+        let rng = Random.State.make [| 0x5A11; sample_seed |] in
+        for _ = 1 to max_points do
+          check_point (List.map (fun e -> Random.State.int rng e) dims)
+        done);
+      None
+    with
+    | Found m -> Some m
+    | exn -> Some { stage = "exception"; detail = Printexc.to_string exn }
+  in
+  { points = !points; c_checked = !c_active; mismatch }
+
+type failure = {
+  origin : string;
+  repro : string option;
+  layout : L.Group_by.t;
+  shrunk : L.Group_by.t;
+  mismatch : mismatch;
+}
+
+type report = {
+  layouts : int;
+  points : int;
+  c_skipped : int;
+  failures : failure list;
+  seconds : float;
+  budget_exhausted : bool;
+}
+
+let run ?(gallery = true) ?(random = 200) ?(seed = 42) ?max_points
+    ?(budget_s = infinity) ?(progress = fun _ -> ()) () =
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  let layouts = ref 0 in
+  let points = ref 0 in
+  let c_skipped = ref 0 in
+  let failures = ref [] in
+  let budget_exhausted = ref false in
+  let still_fails g = (check_layout ?max_points g).mismatch <> None in
+  let check origin repro g =
+    incr layouts;
+    let o = check_layout ?max_points ~sample_seed:!layouts g in
+    points := !points + o.points;
+    if not o.c_checked then incr c_skipped;
+    match o.mismatch with
+    | None -> ()
+    | Some m ->
+      progress (Printf.sprintf "mismatch in %s [%s] — shrinking" origin m.stage);
+      let shrunk = Shrink.minimize still_fails g in
+      let mismatch =
+        match (check_layout ?max_points shrunk).mismatch with
+        | Some m' -> m'
+        | None -> m (* shrinking preserves failure; defensive fallback *)
+      in
+      failures := { origin; repro; layout = g; shrunk; mismatch } :: !failures
+  in
+  if gallery then
+    List.iter (fun (name, g) -> check ("gallery: " ^ name) None g) Corpus.all;
+  (try
+     for index = 0 to random - 1 do
+       if elapsed () > budget_s then begin
+         budget_exhausted := true;
+         raise Exit
+       end;
+       check
+         (Printf.sprintf "random layout #%d (seed %d)" index seed)
+         (Some
+            (Printf.sprintf "CONFORM_SEED=%d CONFORM_ITERS=%d legoc conform"
+               seed (index + 1)))
+         (Lgen.layout_of_seed ~seed ~index)
+     done
+   with Exit -> ());
+  {
+    layouts = !layouts;
+    points = !points;
+    c_skipped = !c_skipped;
+    failures = List.rev !failures;
+    seconds = elapsed ();
+    budget_exhausted = !budget_exhausted;
+  }
+
+let pp_failure ppf f =
+  Format.fprintf ppf "@[<v2>FAIL %s@,stage:   %s@,detail:  %s@,layout:  %a@,shrunk:  %a"
+    f.origin f.mismatch.stage f.mismatch.detail L.Group_by.pp f.layout
+    L.Group_by.pp f.shrunk;
+  (match f.repro with
+  | Some r -> Format.fprintf ppf "@,repro:   %s" r
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>conform: %d layouts, %d points, %d C-guard-skipped, %d mismatches \
+     (%.2fs, %.0f points/s)%s"
+    r.layouts r.points r.c_skipped (List.length r.failures) r.seconds
+    (float_of_int r.points /. (if r.seconds > 0. then r.seconds else 1e-9))
+    (if r.budget_exhausted then " [time budget exhausted]" else "");
+  List.iter (fun f -> Format.fprintf ppf "@,%a" pp_failure f) r.failures;
+  Format.fprintf ppf "@]"

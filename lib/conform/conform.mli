@@ -1,0 +1,77 @@
+(** Differential conformance across the four executable layout semantics.
+
+    For each layout, the harness evaluates every point (exhaustively when
+    the space is small, seeded random samples otherwise) through:
+
+    - the reference integer interpreter
+      ({!Lego_layout.Group_by.apply_ints} / [inv_ints]);
+    - the simplified symbolic expressions
+      ({!Lego_symbolic.Sym.apply} / [inv] under the layout's range
+      environment), evaluated with floor semantics;
+    - the C backend's emitted text, re-parsed by {!Cexpr} and evaluated
+      with C's truncating division (skipped — and counted — when
+      {!Lego_codegen.C_printer.guard_nonneg} cannot certify the
+      expressions, since the backend would refuse to emit them);
+    - the MLIR backend's emitted functions, executed by
+      {!Lego_mlirsim.Minterp}.
+
+    All four must agree, the forward map must be bijective, and [inv]
+    must invert [apply].  Any disagreement is minimized with {!Shrink}
+    and reported with a copy-pasteable reproduction. *)
+
+type mismatch = {
+  stage : string;
+      (** Which check failed, e.g. ["symbolic-apply"], ["c-inv"],
+          ["interp-roundtrip"], ["exception"]. *)
+  detail : string;  (** Human-readable point / expected / got. *)
+}
+
+type outcome = {
+  points : int;  (** Points actually evaluated. *)
+  c_checked : bool;
+      (** False when the non-negativity guard refused the C path. *)
+  mismatch : mismatch option;  (** First disagreement found, if any. *)
+}
+
+val check_layout :
+  ?max_points:int -> ?sample_seed:int -> Lego_layout.Group_by.t -> outcome
+(** Cross-check one layout.  Exhaustive (with a bijectivity check) when
+    [numel <= max_points] (default 2048); otherwise [max_points] seeded
+    samples, deterministic in [sample_seed]. *)
+
+type failure = {
+  origin : string;  (** ["gallery: <name>"] or ["random layout #k"]. *)
+  repro : string option;  (** Command line reproducing the failure. *)
+  layout : Lego_layout.Group_by.t;  (** Original failing layout. *)
+  shrunk : Lego_layout.Group_by.t;  (** Minimized failing layout. *)
+  mismatch : mismatch;  (** Disagreement on the {e shrunk} layout. *)
+}
+
+type report = {
+  layouts : int;
+  points : int;
+  c_skipped : int;  (** Layouts whose C path the guard refused. *)
+  failures : failure list;
+  seconds : float;
+  budget_exhausted : bool;
+      (** True when the time budget cut random generation short. *)
+}
+
+val run :
+  ?gallery:bool ->
+  ?random:int ->
+  ?seed:int ->
+  ?max_points:int ->
+  ?budget_s:float ->
+  ?progress:(string -> unit) ->
+  unit ->
+  report
+(** [run ()] checks the {!Corpus} gallery (unless [gallery:false]) and
+    then [random] (default 200) generated layouts from [seed] (default
+    42), stopping early — with [budget_exhausted] set — once [budget_s]
+    seconds (default unlimited) have elapsed.  [progress] receives a line
+    per detected failure before shrinking starts. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_report : Format.formatter -> report -> unit
+(** Summary plus every failure; one line per count when clean. *)

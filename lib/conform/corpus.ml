@@ -1,0 +1,52 @@
+module L = Lego_layout
+
+let all =
+  [
+    ( "row-major tiled A (DL_a)",
+      L.Sugar.tiled_view ~group:[ [ 8; 4 ]; [ 16; 32 ] ] () );
+    ( "column-major tiled A^T",
+      L.Sugar.tiled_view
+        ~order:[ L.Sugar.col [ 128; 128 ] ]
+        ~group:[ [ 8; 4 ]; [ 16; 32 ] ]
+        () );
+    ( "grouped program ids (CL)",
+      L.Sugar.tiled_view
+        ~order:[ L.Sugar.col [ 4; 1 ]; L.Sugar.col [ 8; 16 ] ]
+        ~group:[ [ 32; 16 ] ] () );
+    ( "anti-diagonal NW buffer",
+      L.Group_by.make
+        ~chain:[ L.Order_by.make [ L.Gallery.antidiag 17 ] ]
+        [ [ 17; 17 ] ] );
+    ( "Z-Morton 16x16",
+      L.Group_by.make
+        ~chain:[ L.Order_by.make [ L.Gallery.morton ~d:2 ~bits:4 ] ]
+        [ [ 16; 16 ] ] );
+    ( "figure 9 ensemble",
+      L.Group_by.make
+        ~chain:
+          [
+            L.Order_by.make
+              [
+                L.Piece.reg ~dims:[ 2; 2 ] ~sigma:(L.Sigma.of_one_based [ 2; 1 ]);
+                L.Gallery.antidiag 3;
+              ];
+            L.Order_by.make
+              [
+                L.Piece.reg ~dims:[ 2; 3; 2; 3 ]
+                  ~sigma:(L.Sigma.of_one_based [ 1; 3; 2; 4 ]);
+              ];
+          ]
+        [ [ 6; 6 ] ] );
+    ( "Hilbert 8x8",
+      L.Group_by.make
+        ~chain:[ L.Order_by.make [ L.Gallery.hilbert ~bits:3 ] ]
+        [ [ 8; 8 ] ] );
+    ( "XOR-swizzled smem tile",
+      L.Group_by.make
+        ~chain:[ L.Order_by.make [ L.Gallery.xor_swizzle ~rows:16 ~cols:8 ] ]
+        [ [ 16; 8 ] ] );
+    ( "cyclic diagonal 9x9",
+      L.Group_by.make
+        ~chain:[ L.Order_by.make [ L.Gallery.cyclic_diag 9 ] ]
+        [ [ 9; 9 ] ] );
+  ]

@@ -1,0 +1,8 @@
+(** The shared differential-testing corpus: the Table-1 layouts of the
+    paper's evaluation, used by the conformance harness, the benchmark
+    suite and the simplifier fuzz tests so all three exercise the same
+    ground truth. *)
+
+val all : (string * Lego_layout.Group_by.t) list
+(** Name / layout pairs; every layout is a bijection over a few thousand
+    points at most, so exhaustive checks stay cheap. *)

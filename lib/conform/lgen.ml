@@ -1,0 +1,107 @@
+module L = Lego_layout
+
+let pick rng xs =
+  match xs with
+  | [] -> invalid_arg "Lgen.pick: empty list"
+  | _ -> List.nth xs (Random.State.int rng (List.length xs))
+
+(* All divisors of [n] (n is at most a few hundred here). *)
+let divisors n = List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1))
+
+(* Split [n] into exactly [k] factors (each >= 1), drawn at random. *)
+let rec factorization rng n k =
+  if k <= 1 then [ n ]
+  else
+    let d = pick rng (divisors n) in
+    d :: factorization rng (n / d) (k - 1)
+
+let log2_exact m =
+  let rec go acc m =
+    if m = 1 then Some acc else if m mod 2 = 0 then go (acc + 1) (m / 2) else None
+  in
+  if m <= 0 then None else go 0 m
+
+(* A random piece covering exactly [m] elements.  Gallery pieces are only
+   offered when [m] meets their shape constraint. *)
+let gen_piece rng m =
+  let sq = L.Domain.int_isqrt m in
+  let square = sq * sq = m && sq >= 2 in
+  let choices = ref [] in
+  let add c = choices := c :: !choices in
+  (* Strided permutations are always available (and twice as likely,
+     matching their prevalence in real mappings). *)
+  let regp () =
+    let rank = 1 + Random.State.int rng 3 in
+    let dims = factorization rng m rank in
+    let sigma = pick rng (L.Sigma.all rank) in
+    L.Piece.reg ~dims ~sigma
+  in
+  add regp;
+  add regp;
+  add (fun () ->
+      let rank = 1 + Random.State.int rng 2 in
+      L.Gallery.reverse (factorization rng m rank));
+  if square then begin
+    add (fun () -> L.Gallery.antidiag sq);
+    add (fun () -> L.Gallery.cyclic_diag sq)
+  end;
+  (match log2_exact m with
+  | Some bits when bits >= 2 ->
+    add (fun () ->
+        let cols_bits = 1 + Random.State.int rng (bits - 1) in
+        L.Gallery.xor_swizzle
+          ~rows:(m lsr cols_bits)
+          ~cols:(1 lsl cols_bits));
+    if bits mod 2 = 0 then begin
+      add (fun () -> L.Gallery.morton ~d:2 ~bits:(bits / 2));
+      add (fun () -> L.Gallery.hilbert ~bits:(bits / 2))
+    end
+  | _ -> ());
+  (pick rng !choices) ()
+
+(* Split [n] into the piece element-counts of one OrderBy: one to three
+   factors, dropping trivial factors of 1. *)
+let split_pieces rng n =
+  if n = 1 then [ 1 ]
+  else
+    let k = 1 + Random.State.int rng 3 in
+    match List.filter (fun f -> f > 1) (factorization rng n k) with
+    | [] -> [ n ]
+    | fs -> fs
+
+let gen_order_by rng n =
+  L.Order_by.make (List.map (gen_piece rng) (split_pieces rng n))
+
+(* The grouping hierarchy: one or two levels whose element counts multiply
+   to [n], each level a shape of one or two extents. *)
+let gen_shapes rng n =
+  let levels = 1 + Random.State.int rng 2 in
+  let level_numels =
+    match List.filter (fun f -> f > 1) (factorization rng n levels) with
+    | [] -> [ n ]
+    | fs -> fs
+  in
+  List.map
+    (fun m ->
+      let rank = 1 + Random.State.int rng 2 in
+      factorization rng m rank)
+    level_numels
+
+(* Element counts biased toward shapes the gallery pieces accept: powers
+   of four for Morton/Hilbert, perfect squares for the diagonal orders,
+   smooth composites for everything else.  All small enough to check
+   exhaustively. *)
+let gen_numel rng =
+  match Random.State.int rng 4 with
+  | 0 -> pick rng [ 16; 64; 256 ]
+  | 1 -> pick rng [ 2; 3; 4; 5; 6 ] |> fun k -> k * k * pick rng [ 1; 2; 3 ]
+  | 2 -> pick rng [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 12 ] * pick rng [ 1; 2; 3; 4; 6; 8 ]
+  | _ -> 1 + Random.State.int rng 360
+
+let layout_of_seed ~seed ~index =
+  let rng = Random.State.make [| 0xC04F; seed; index |] in
+  let n = gen_numel rng in
+  let shapes = gen_shapes rng n in
+  let chain_len = Random.State.int rng 4 in
+  let chain = List.init chain_len (fun _ -> gen_order_by rng n) in
+  L.Group_by.make ~chain shapes

@@ -35,7 +35,13 @@ let create_arena ?label dtype requested ~cap =
   if requested <= cap then (create ?label dtype requested, Fun.id)
   else
     let buf = create ?label dtype cap in
-    (buf, fun addr -> addr mod cap)
+    (* Euclidean remainder: OCaml [mod] is negative for negative addresses
+       and would fold them out of bounds. *)
+    let fold addr =
+      let r = addr mod cap in
+      if r < 0 then r + cap else r
+    in
+    (buf, fold)
 
 let max_abs_diff b expected =
   if Array.length expected <> Array.length b.data then

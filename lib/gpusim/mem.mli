@@ -35,4 +35,6 @@ val create_arena :
     function (the identity when everything fits).  Sampled performance
     runs use it to touch representative addresses without materializing
     multi-gigabyte operands; folding preserves intra-warp address deltas,
-    so coalescing behaviour is unchanged. *)
+    so coalescing behaviour is unchanged.  Folding is a Euclidean
+    remainder, so negative addresses land in [0 .. cap-1] rather than out
+    of bounds. *)

@@ -105,16 +105,21 @@ let cost_global device c accesses =
   c.insn_warp <- c.insn_warp +. 1.0
 
 (* Cost a warp's batch of shared accesses: the bank-conflict degree is the
-   largest number of distinct addresses hitting one bank. *)
-let cost_shared device c addrs =
+   largest number of distinct bank words hitting one bank.  Banks are
+   [smem_bank_bytes] wide and interleaved by byte address, so the element
+   width matters: two F16 elements sharing one 4-byte bank word are a
+   single (broadcast) access, while element strides that only look
+   conflict-free in word units may serialize. *)
+let cost_shared device ~elem_bytes c addrs =
   let banks = Hashtbl.create 8 in
   List.iter
     (fun addr ->
-      let bank = addr mod device.Device.smem_banks in
+      let word = addr * elem_bytes / device.Device.smem_bank_bytes in
+      let bank = word mod device.Device.smem_banks in
       let set =
         Option.value ~default:IntSet.empty (Hashtbl.find_opt banks bank)
       in
-      Hashtbl.replace banks bank (IntSet.add addr set))
+      Hashtbl.replace banks bank (IntSet.add word set))
     addrs;
   let degree =
     Hashtbl.fold (fun _ set acc -> max acc (IntSet.cardinal set)) banks 0
@@ -133,8 +138,8 @@ let record_flops c dt tensor n warp_count =
   | Mem.F8, true -> c.flops_tensor_fp8 <- c.flops_tensor_fp8 +. fl);
   c.insn_warp <- c.insn_warp +. 1.0
 
-let run_block ~device ~counters ~block:(bdx, bdy) ~grid:(gdx, gdy) ~smem_words
-    ~bx ~by body =
+let run_block ~device ~counters ~smem_elem_bytes ~block:(bdx, bdy)
+    ~grid:(gdx, gdy) ~smem_words ~bx ~by body =
   let nthreads = bdx * bdy in
   let smem = Array.make smem_words 0.0 in
   let slots : parked option array = Array.make nthreads None in
@@ -238,8 +243,10 @@ let run_block ~device ~counters ~block:(bdx, bdy) ~grid:(gdx, gdy) ~smem_words
           in
           if gloads <> [] then cost_global device counters gloads;
           if gstores <> [] then cost_global device counters gstores;
-          if sloads <> [] then cost_shared device counters sloads;
-          if sstores <> [] then cost_shared device counters sstores;
+          if sloads <> [] then
+            cost_shared device ~elem_bytes:smem_elem_bytes counters sloads;
+          if sstores <> [] then
+            cost_shared device ~elem_bytes:smem_elem_bytes counters sstores;
           (* flops / alu / sync of the warp this round *)
           let flop_groups = Hashtbl.create 4 in
           let alu_max = ref 0 in
@@ -301,8 +308,8 @@ let run_block ~device ~counters ~block:(bdx, bdy) ~grid:(gdx, gdy) ~smem_words
     end
   done
 
-let run ?(device = Device.a100) ?sample_blocks ~grid:(gdx, gdy)
-    ~block:(bdx, bdy) ~smem_words body =
+let run ?(device = Device.a100) ?(smem_dtype = Mem.F32) ?sample_blocks
+    ~grid:(gdx, gdy) ~block:(bdx, bdy) ~smem_words body =
   if gdx <= 0 || gdy <= 0 then invalid_arg "Simt.run: empty grid";
   if bdx <= 0 || bdy <= 0 then invalid_arg "Simt.run: empty block";
   if bdx * bdy > device.Device.max_threads_per_block then
@@ -317,11 +324,12 @@ let run ?(device = Device.a100) ?sample_blocks ~grid:(gdx, gdy)
   let counters = fresh_counters () in
   (* Evenly strided sample across the whole grid. *)
   let step = total_blocks / simulated in
+  let smem_elem_bytes = Mem.dtype_bytes smem_dtype in
   for s = 0 to simulated - 1 do
     let b = s * step in
     let bx = b mod gdx and by = b / gdx in
-    run_block ~device ~counters ~block:(bdx, bdy) ~grid:(gdx, gdy) ~smem_words
-      ~bx ~by body
+    run_block ~device ~counters ~smem_elem_bytes ~block:(bdx, bdy)
+      ~grid:(gdx, gdy) ~smem_words ~bx ~by body
   done;
   let scale = float_of_int total_blocks /. float_of_int simulated in
   if simulated < total_blocks then begin

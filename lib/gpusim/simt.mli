@@ -39,7 +39,8 @@ val gload : Mem.buffer -> int -> float
 val gstore : Mem.buffer -> int -> float -> unit
 
 val sload : int -> float
-(** Shared-memory load of a 4-byte word. *)
+(** Shared-memory load of one element (the element width is the [run]
+    call's [smem_dtype], F32 by default). *)
 
 val sstore : int -> float -> unit
 val sync : unit -> unit
@@ -82,6 +83,7 @@ type report = {
 
 val run :
   ?device:Device.t ->
+  ?smem_dtype:Mem.dtype ->
   ?sample_blocks:int ->
   grid:int * int ->
   block:int * int ->
@@ -90,7 +92,10 @@ val run :
   report
 (** [run ~grid:(gx, gy) ~block:(bx, by) ~smem_words f] executes [f] for
     every thread of every (sampled) block and returns the scaled cost
-    report.  Raises [Invalid_argument] for out-of-range shared accesses,
-    out-of-bounds buffer accesses, or block sizes beyond the device
-    limit. *)
+    report.  [smem_dtype] (default [F32]) is the element type behind
+    {!sload}/{!sstore} indices: bank conflicts are computed on byte
+    addresses ([index * element bytes]), so sub-word dtypes (F16/F8) pack
+    several elements into one [Device.smem_bank_bytes] bank word.  Raises
+    [Invalid_argument] for out-of-range shared accesses, out-of-bounds
+    buffer accesses, or block sizes beyond the device limit. *)
 

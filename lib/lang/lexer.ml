@@ -28,7 +28,13 @@ let tokenize src =
       while !i < n && is_digit src.[!i] do
         advance ()
       done;
-      push (Token.INT (int_of_string (String.sub src start (!i - start)))) p
+      let digits = String.sub src start (!i - start) in
+      match int_of_string_opt digits with
+      | Some v -> push (Token.INT v) p
+      | None ->
+        raise
+          (Lex_error
+             (p, Printf.sprintf "integer literal %s does not fit" digits))
     end
     else if is_ident_start c then begin
       let start = !i in

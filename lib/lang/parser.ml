@@ -63,15 +63,21 @@ let parse_comma_sep st parse_item =
 let parse_ints_to_rparen st = parse_comma_sep st parse_int
 
 (* Keywords may carry an arity suffix: "OrderBy4".  Returns the base word
-   and the optional arity. *)
-let split_arity word =
+   and the optional arity; an over-long suffix is a positioned error
+   rather than an escaping [Failure "int_of_string"]. *)
+let split_arity pos word =
   let n = String.length word in
   let k = ref n in
   while !k > 0 && word.[!k - 1] >= '0' && word.[!k - 1] <= '9' do
     decr k
   done;
   if !k = n then (word, None)
-  else (String.sub word 0 !k, Some (int_of_string (String.sub word !k (n - !k))))
+  else
+    let suffix = String.sub word !k (n - !k) in
+    match int_of_string_opt suffix with
+    | Some a -> (String.sub word 0 !k, Some a)
+    | None ->
+      fail pos (Printf.sprintf "arity suffix %s does not fit in an int" suffix)
 
 let rec parse_perm st =
   let s = peek st in
@@ -113,7 +119,7 @@ and parse_block st =
   let s = peek st in
   match s.Token.token with
   | Token.IDENT word -> (
-    let base, arity = split_arity word in
+    let base, arity = split_arity s.Token.pos word in
     let check_arity what got =
       match arity with
       | Some a when a <> got ->

@@ -76,10 +76,26 @@ let rule_div ?stats env (a : Expr.t) (b : Expr.t) : Expr.t option =
         end)
     | _ -> None
 
+(* Deliberately-broken rule 4, used only by the conformance harness's
+   self-test: when enabled, [x mod d] is eliminated already for
+   [0 <= x < 2d] (an off-by-factor-2 side condition).  Never enable
+   outside tests; flip it via {!set_test_only_break_rule} so the memo
+   caches are flushed. *)
+let test_only_break_rule = ref false
+
+let broken_half_open env (a : Expr.t) (b : Expr.t) =
+  !test_only_break_rule
+  &&
+  match b with
+  | Expr.Const d when d > 1 ->
+    let r = Range.of_expr env a in
+    r.Range.lo >= 0 && r.Range.hi < 2 * d
+  | _ -> false
+
 (* Rules 1 and 4. *)
 let rule_mod ?stats env (a : Expr.t) (b : Expr.t) : Expr.t option =
   let bump f = Option.iter f stats in
-  if Prover.in_half_open env a b then begin
+  if Prover.in_half_open env a b || broken_half_open env a b then begin
     bump (fun s -> s.r4 <- s.r4 + 1);
     Some a
   end
@@ -300,3 +316,8 @@ let simplify ?stats ?(fuel = default_fuel) ~env e =
 
 let simplify_closed ?stats ?fuel e =
   simplify ?stats ?fuel ~env:Range.empty_env e
+
+let set_test_only_break_rule enabled =
+  test_only_break_rule := enabled;
+  (* Cached fixpoints were computed under the other rule set. *)
+  clear_cache ()

@@ -65,3 +65,9 @@ val clear_cache : unit -> unit
 
 val simplify_closed : ?stats:stats -> ?fuel:int -> Expr.t -> Expr.t
 (** {!simplify} under the empty range environment. *)
+
+val set_test_only_break_rule : bool -> unit
+(** TEST ONLY.  When enabled, rule 4's side condition is deliberately
+    wrong ([x mod d -> x] already for [0 <= x < 2d]) — a seeded bug the
+    conformance harness must catch and shrink.  Flushes the simplify memo
+    on every flip so stale fixpoints cannot leak across the flag. *)

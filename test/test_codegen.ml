@@ -25,6 +25,62 @@ let test_template_render () =
     Alcotest.(check bool) "names the hole" true
       (Str.string_match (Str.regexp ".*lb_optr.*") msg 0)
 
+let test_template_scanner_edge_cases () =
+  (* A marker inside a longer brace run: the scanner must find the inner
+     {{x}} rather than give up at the first '{'. *)
+  check_str "nested braces" "{X}"
+    (CG.Template.render_exn ~bindings:[ ("x", "X") ] "{{{x}}}");
+  (* Literal braces that never close stay literal. *)
+  check_str "unclosed" "{{x" (CG.Template.render_exn ~bindings:[] "{{x");
+  check_str "lone braces" "a {b} c"
+    (CG.Template.render_exn ~bindings:[] "a {b} c");
+  (* A non-identifier between the braces is not a placeholder. *)
+  check_str "bad name stays" "{{bad name}}"
+    (CG.Template.render_exn ~bindings:[] "{{bad name}}");
+  Alcotest.(check (list string)) "bad name not collected" []
+    (CG.Template.placeholders "{{bad name}} {{1x}}");
+  (* Adjacent markers and repeats. *)
+  check_str "adjacent" "XYX"
+    (CG.Template.render_exn
+       ~bindings:[ ("a", "X"); ("b", "Y") ]
+       "{{a}}{{b}}{{a}}");
+  Alcotest.(check (list string))
+    "placeholders dedup in order" [ "a"; "b" ]
+    (CG.Template.placeholders "{{a}}{{b}}{{a}}")
+
+let test_template_roundtrip () =
+  (* Rendering every placeholder with a recognisable token and scanning
+     the output must account for every marker: placeholders-compose-
+    render sanity over assorted templates. *)
+  let templates =
+    [
+      "no markers at all";
+      "{{x}}";
+      "lead {{ x }} mid {{y_2}} tail";
+      "{{a}}{{a}}{{b}} {{ c }} {";
+      "mix {{ok}} {{not ok}} {{_under}}";
+    ]
+  in
+  List.iter
+    (fun tpl ->
+      let names = CG.Template.placeholders tpl in
+      let bindings = List.map (fun n -> (n, "<" ^ n ^ ">")) names in
+      let out = CG.Template.render_exn ~bindings tpl in
+      List.iter
+        (fun (n, v) ->
+          let occurs hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i =
+              i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%S: %s substituted" tpl n)
+            true (occurs out v))
+        bindings)
+    templates
+
 (* --- C printer --------------------------------------------------------- *)
 
 let test_c_printer () =
@@ -234,6 +290,10 @@ let suite =
   ( "codegen",
     [
       Alcotest.test_case "template render" `Quick test_template_render;
+      Alcotest.test_case "template scanner edge cases" `Quick
+        test_template_scanner_edge_cases;
+      Alcotest.test_case "template placeholders/render round-trip" `Quick
+        test_template_roundtrip;
       Alcotest.test_case "C printer" `Quick test_c_printer;
       Alcotest.test_case "C floor-division guard" `Quick test_c_guard;
       Alcotest.test_case "C precedence" `Quick test_c_precedence_eval;

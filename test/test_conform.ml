@@ -1,0 +1,193 @@
+(* Tests for the differential conformance harness (lib/conform): the C
+   expression re-parser, the seeded generator, the four-semantics
+   cross-check over the gallery corpus and random layouts, and the
+   seeded-bug self-test (a deliberately broken simplifier rule must be
+   caught and shrunk). *)
+
+module L = Lego_layout
+module Conform = Lego_conform.Conform
+module Cexpr = Lego_conform.Cexpr
+module Lgen = Lego_conform.Lgen
+module Shrink = Lego_conform.Shrink
+
+(* --- Cexpr: C parsing and truncating evaluation ------------------------ *)
+
+let eval_str ?(env = fun v -> failwith ("unbound " ^ v)) src =
+  match Cexpr.parse src with
+  | Error e -> Alcotest.failf "parse %S: %s" src e
+  | Ok t -> Cexpr.eval ~env t
+
+let test_cexpr_truncating_semantics () =
+  (* C's / and % truncate toward zero; the algebra's floor semantics
+     differ on negatives — that asymmetry is the whole point. *)
+  Alcotest.(check int) "-7 / 2 truncates" (-3) (eval_str "-7 / 2");
+  Alcotest.(check int) "-7 % 2 truncates" (-1) (eval_str "-7 % 2");
+  Alcotest.(check int) "floor differs" (-4)
+    (Lego_layout.Domain.floor_div (-7) 2);
+  Alcotest.(check int) "7 / 2" 3 (eval_str "7 / 2");
+  Alcotest.(check int) "precedence" 7 (eval_str "1 + 2 * 3");
+  Alcotest.(check int) "parens" 9 (eval_str "(1 + 2) * 3");
+  Alcotest.(check int) "unary minus binds tight" (-5) (eval_str "1 - 2 * 3");
+  Alcotest.(check int) "ternary true" 10 (eval_str "1 <= 2 ? 10 : 20");
+  Alcotest.(check int) "ternary false" 20 (eval_str "3 <= 2 ? 10 : 20");
+  Alcotest.(check int) "nested ternary" 3
+    (eval_str "0 ? 1 : 1 == 2 ? 2 : 3");
+  Alcotest.(check int) "isqrt" 4 (eval_str "lego_isqrt(17)");
+  Alcotest.(check int) "vars" 11
+    (eval_str ~env:(function "i0" -> 5 | _ -> 3) "2 * i0 + 1");
+  (match Cexpr.parse "1 +" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated input should not parse");
+  match Cexpr.parse "foo(3)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown function should not parse"
+
+let test_cexpr_matches_printer () =
+  (* Round-trip: print an expression with the C printer, re-parse it with
+     Cexpr, and evaluate both sides on sample points (all values
+     non-negative, where C and floor semantics agree). *)
+  let module E = Lego_symbolic.Expr in
+  let exprs =
+    [
+      E.(add (mul (const 3) (var "i")) (div (var "j") (const 2)));
+      E.(md (add (var "i") (mul (const 7) (var "j"))) (const 5));
+      E.(select (lt (var "i") (const 4)) (var "j") (neg (var "i")));
+      E.(isqrt (add (mul (var "i") (var "i")) (var "j")));
+      E.(mul (add (var "i") (const 1)) (sub (var "j") (const 9)));
+      E.(div (md (var "i") (const 6)) (add (var "j") (const 1)));
+    ]
+  in
+  List.iter
+    (fun e ->
+      let src = Lego_codegen.C_printer.expr e in
+      let t =
+        match Cexpr.parse src with
+        | Ok t -> t
+        | Error m -> Alcotest.failf "reparse %S: %s" src m
+      in
+      for i = 0 to 9 do
+        for j = 0 to 9 do
+          let env v =
+            match v with
+            | "i" -> i
+            | "j" -> j
+            | v -> Alcotest.failf "unbound %s" v
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s at i=%d j=%d" src i j)
+            (E.eval ~env e) (Cexpr.eval ~env t)
+        done
+      done)
+    exprs
+
+(* --- Generator ---------------------------------------------------------- *)
+
+let test_generator_deterministic_and_valid () =
+  for index = 0 to 39 do
+    let g = Lgen.layout_of_seed ~seed:7 ~index in
+    let g' = Lgen.layout_of_seed ~seed:7 ~index in
+    Alcotest.(check bool)
+      (Printf.sprintf "#%d deterministic" index)
+      true (L.Group_by.equal g g');
+    Alcotest.(check bool)
+      (Printf.sprintf "#%d small enough" index)
+      true
+      (L.Group_by.numel g <= 768);
+    match L.Check.layout g with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "#%d not a bijection: %s" index e
+  done;
+  (* Different seeds give different streams (overwhelmingly likely for
+     any non-degenerate generator; checked over a whole prefix). *)
+  let differs =
+    List.exists
+      (fun index ->
+        not
+          (L.Group_by.equal
+             (Lgen.layout_of_seed ~seed:1 ~index)
+             (Lgen.layout_of_seed ~seed:2 ~index)))
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  Alcotest.(check bool) "seeds matter" true differs
+
+(* --- Cross-check: gallery corpus and random layouts --------------------- *)
+
+let test_gallery_conforms () =
+  List.iter
+    (fun (name, g) ->
+      match (Conform.check_layout g).Conform.mismatch with
+      | None -> ()
+      | Some m ->
+        Alcotest.failf "%s: [%s] %s" name m.Conform.stage m.Conform.detail)
+    Lego_conform.Corpus.all
+
+let test_random_layouts_conform () =
+  let report =
+    Conform.run ~gallery:false ~random:40 ~seed:2026 ~max_points:512 ()
+  in
+  Alcotest.(check int) "layouts" 40 report.Conform.layouts;
+  Alcotest.(check bool) "points covered" true (report.Conform.points > 0);
+  match report.Conform.failures with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "%s: [%s] %s" f.Conform.origin f.Conform.mismatch.Conform.stage
+      f.Conform.mismatch.Conform.detail
+
+(* --- Seeded-bug self-test ----------------------------------------------- *)
+
+let test_broken_rule_caught_and_shrunk () =
+  Lego_symbolic.Simplify.set_test_only_break_rule true;
+  Fun.protect
+    ~finally:(fun () ->
+      Lego_symbolic.Simplify.set_test_only_break_rule false)
+    (fun () ->
+      let report = Conform.run ~random:40 ~seed:42 () in
+      (match report.Conform.failures with
+      | [] ->
+        Alcotest.fail
+          "the deliberately broken mod-elimination rule was not detected"
+      | f :: _ ->
+        (* The shrunk layout must itself still fail, and shrinking must
+           not grow the layout. *)
+        Alcotest.(check bool) "shrunk layout still fails" true
+          ((Conform.check_layout f.Conform.shrunk).Conform.mismatch <> None);
+        let size g =
+          List.fold_left
+            (fun a o -> a + List.length (L.Order_by.pieces o))
+            (List.length (L.Group_by.shapes g))
+            (L.Group_by.chain g)
+        in
+        Alcotest.(check bool) "shrunk no larger" true
+          (size f.Conform.shrunk <= size f.Conform.layout);
+        (* The printed reproduction must re-parse to the same layout. *)
+        let printed = Format.asprintf "%a" L.Group_by.pp f.Conform.shrunk in
+        match Lego_lang.Elab.layout_of_string printed with
+        | Error e -> Alcotest.failf "shrunk repro %S does not parse: %s" printed e
+        | Ok g ->
+          Alcotest.(check bool) "repro round-trips" true
+            (L.Group_by.equal g f.Conform.shrunk)))
+
+let test_flag_reset_restores_conformance () =
+  (* After disabling the broken rule (which flushes the memo caches), the
+     same stream must be clean again. *)
+  let report = Conform.run ~gallery:true ~random:10 ~seed:42 () in
+  Alcotest.(check int) "clean after reset" 0
+    (List.length report.Conform.failures)
+
+let suite =
+  ( "conform",
+    [
+      Alcotest.test_case "C expr: truncating semantics" `Quick
+        test_cexpr_truncating_semantics;
+      Alcotest.test_case "C expr: printer round-trip" `Quick
+        test_cexpr_matches_printer;
+      Alcotest.test_case "generator: deterministic, valid, bounded" `Quick
+        test_generator_deterministic_and_valid;
+      Alcotest.test_case "gallery corpus conforms" `Quick test_gallery_conforms;
+      Alcotest.test_case "random layouts conform" `Quick
+        test_random_layouts_conform;
+      Alcotest.test_case "seeded bug is caught and shrunk" `Quick
+        test_broken_rule_caught_and_shrunk;
+      Alcotest.test_case "flag reset restores conformance" `Quick
+        test_flag_reset_restores_conformance;
+    ] )

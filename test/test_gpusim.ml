@@ -51,6 +51,48 @@ let test_bank_conflicts () =
   Alcotest.(check (float 0.0)) "stride 16: 16-way" 16.0 (degree 16);
   Alcotest.(check (float 0.0)) "stride 32: fully serialized" 32.0 (degree 32)
 
+let test_bank_conflicts_dtype_aware () =
+  (* Banks are byte-addressed (4-byte banks on A100), so the element
+     width changes the conflict picture.  F16, stride 1: 32 lanes cover
+     64 bytes = 16 words; two lanes share each word (broadcast, free),
+     so one cycle. *)
+  let degree dtype stride =
+    let r =
+      Simt.run ~smem_dtype:dtype ~grid:(1, 1) ~block:(32, 1) ~smem_words:1024
+        (fun ctx -> Simt.sstore (ctx.Simt.tx * stride mod 1024) 1.0)
+    in
+    r.Simt.counters.s_cycles
+  in
+  Alcotest.(check (float 0.0)) "f16 stride 1: conflict-free" 1.0
+    (degree Mem.F16 1);
+  (* F16, stride 32: lane t hits word t*16, i.e. banks {0, 16} only, 16
+     distinct words per bank. *)
+  Alcotest.(check (float 0.0)) "f16 stride 32: 16-way" 16.0
+    (degree Mem.F16 32);
+  (* F32 keeps the word-indexed behaviour (word = element on 4-byte
+     banks), so the classic stride-32 full serialization holds. *)
+  Alcotest.(check (float 0.0)) "f32 stride 32: 32-way" 32.0
+    (degree Mem.F32 32);
+  (* F8, stride 1: 32 lanes cover 32 bytes = 8 words, all broadcast. *)
+  Alcotest.(check (float 0.0)) "f8 stride 1: conflict-free" 1.0
+    (degree Mem.F8 1)
+
+let test_arena_fold_negative_addresses () =
+  let _buf, fold = Mem.create_arena Mem.F32 (1 lsl 20) ~cap:1024 in
+  List.iter
+    (fun addr ->
+      let f = fold addr in
+      Alcotest.(check bool)
+        (Printf.sprintf "fold %d in bounds" addr)
+        true
+        (f >= 0 && f < 1024))
+    [ -1; -5; -1024; -1025; 0; 1023; 1024; 123456789; -123456789 ];
+  (* Euclidean: congruent mod cap, so intra-warp deltas survive. *)
+  Alcotest.(check int) "fold -5" 1019 (fold (-5));
+  Alcotest.(check int) "fold -1024" 0 (fold (-1024));
+  Alcotest.(check int) "delta preserved" (fold 7 - fold 6 + 1024)
+    (fold (-6) - fold (-7) + 1024)
+
 let test_broadcast_shared_free () =
   let r = run1 ~smem_words:4 (fun _ -> ignore (Simt.sload 0)) in
   Alcotest.(check (float 0.0)) "broadcast is one cycle" 1.0
@@ -175,6 +217,10 @@ let suite =
       Alcotest.test_case "broadcast load" `Quick test_broadcast_load;
       Alcotest.test_case "dtype width" `Quick test_dtype_width_affects_txns;
       Alcotest.test_case "bank conflicts" `Quick test_bank_conflicts;
+      Alcotest.test_case "bank conflicts are dtype-aware" `Quick
+        test_bank_conflicts_dtype_aware;
+      Alcotest.test_case "arena folds negative addresses" `Quick
+        test_arena_fold_negative_addresses;
       Alcotest.test_case "shared broadcast" `Quick test_broadcast_shared_free;
       Alcotest.test_case "barrier memory ordering" `Quick
         test_barrier_orders_memory;

@@ -60,7 +60,13 @@ let test_parse_errors () =
   expect_error "OrderBy(RegP([2,2],[1,1])).GroupBy([2,2])" "duplicate";
   expect_error "OrderBy(GenP(nope[4,4])).GroupBy([4,4])" "no gallery bijection";
   expect_error "OrderBy(Row(2,2)).GroupBy([2,3])" "OrderBy covers 4 elements";
-  expect_error "GroupBy([6,6]).GroupBy([6,6])" "only end a chain"
+  expect_error "GroupBy([6,6]).GroupBy([6,6])" "only end a chain";
+  (* Over-long literals must surface as positioned errors, not escape as
+     a bare [Failure] from [int_of_string]. *)
+  expect_error "GroupBy([99999999999999999999999999])" "does not fit";
+  expect_error "GroupBy([99999999999999999999999999])" "1:10";
+  expect_error "OrderBy99999999999999999999999(Row(2,2)).GroupBy([4])"
+    "does not fit"
 
 let test_arity_suffixes_optional () =
   let with_suffix = parse_ok "OrderBy2(Row(6, 6)).GroupBy2([6,6])" in

@@ -7,6 +7,7 @@ let () =
       Test_affine.suite;
       Test_lang.suite;
       Test_codegen.suite;
+      Test_conform.suite;
       Test_gpusim.suite;
       Test_apps.suite;
     ]

@@ -1,50 +1,14 @@
-(* Semantics-preservation fuzz for the simplifier over the Table-1 corpus
-   of bench/main.ml: for every layout, the raw and simplified symbolic
-   apply/inv expressions must agree on every in-range index point, and
-   the layout itself must be a bijection (Check.layout). *)
+(* Semantics-preservation fuzz for the simplifier over the shared
+   differential-testing corpus (lib/conform): for every layout, the raw
+   and simplified symbolic apply/inv expressions must agree on every
+   in-range index point, and the layout itself must be a bijection
+   (Check.layout). *)
 
 open Lego_symbolic
 module E = Expr
 module L = Lego_layout
 
-let corpus =
-  [
-    ( "row-major tiled A (DL_a)",
-      L.Sugar.tiled_view ~group:[ [ 8; 4 ]; [ 16; 32 ] ] () );
-    ( "column-major tiled A^T",
-      L.Sugar.tiled_view
-        ~order:[ L.Sugar.col [ 128; 128 ] ]
-        ~group:[ [ 8; 4 ]; [ 16; 32 ] ]
-        () );
-    ( "grouped program ids (CL)",
-      L.Sugar.tiled_view
-        ~order:[ L.Sugar.col [ 4; 1 ]; L.Sugar.col [ 8; 16 ] ]
-        ~group:[ [ 32; 16 ] ] () );
-    ( "anti-diagonal NW buffer",
-      L.Group_by.make
-        ~chain:[ L.Order_by.make [ L.Gallery.antidiag 17 ] ]
-        [ [ 17; 17 ] ] );
-    ( "Z-Morton 16x16",
-      L.Group_by.make
-        ~chain:[ L.Order_by.make [ L.Gallery.morton ~d:2 ~bits:4 ] ]
-        [ [ 16; 16 ] ] );
-    ( "figure 9 ensemble",
-      L.Group_by.make
-        ~chain:
-          [
-            L.Order_by.make
-              [
-                L.Piece.reg ~dims:[ 2; 2 ] ~sigma:(L.Sigma.of_one_based [ 2; 1 ]);
-                L.Gallery.antidiag 3;
-              ];
-            L.Order_by.make
-              [
-                L.Piece.reg ~dims:[ 2; 3; 2; 3 ]
-                  ~sigma:(L.Sigma.of_one_based [ 1; 3; 2; 4 ]);
-              ];
-          ]
-        [ [ 6; 6 ] ] );
-  ]
+let corpus = Lego_conform.Corpus.all
 
 let var_names dims = List.mapi (fun k _ -> Printf.sprintf "i%d" k) dims
 
