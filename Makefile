@@ -1,5 +1,5 @@
 # Tier-1 gate: the repo must build and its test suite must pass.
-.PHONY: check build test conform bench clean
+.PHONY: check build test conform conform-serial bench clean
 
 check: build test conform
 
@@ -11,9 +11,15 @@ test:
 
 # Differential conformance: interpreter vs symbolic vs C vs MLIR over the
 # gallery corpus plus seeded random layouts.  Bounded by a wall-clock
-# budget; override the stream with CONFORM_SEED / CONFORM_ITERS.
+# budget; override the stream with CONFORM_SEED / CONFORM_ITERS and the
+# domain count with LEGO_JOBS (the report is bit-identical at any -j).
+# The gate runs at -j 2 to exercise the execution layer on every check.
 conform:
-	dune exec bin/legoc.exe -- conform --budget 30
+	dune exec bin/legoc.exe -- conform --budget 30 -j 2
+
+# Same corpus on a single domain — the reference for determinism triage.
+conform-serial:
+	dune exec bin/legoc.exe -- conform --budget 30 -j 1
 
 bench:
 	dune exec bench/main.exe

@@ -39,11 +39,31 @@ let mlir_flag =
 let check_flag =
   Arg.(value & flag & info [ "check" ] ~doc:"Exhaustively verify bijectivity.")
 
+let jobs_arg =
+  let env =
+    Cmd.Env.info "LEGO_JOBS"
+      ~doc:"Default worker-domain count for parallel runs."
+  in
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~env ~docv:"N"
+        ~doc:
+          "Worker-domain count for parallel checking.  Results are \
+           bit-identical for any $(docv); 0 selects the recommended \
+           domain count for this machine.")
+
+let resolve_jobs jobs =
+  if jobs < 0 then failwith "--jobs must be >= 0"
+  else if jobs = 0 then Lego_exec.Exec.default_jobs ()
+  else jobs
+
 let parse_index s =
   try List.map int_of_string (String.split_on_char ',' (String.trim s))
   with Failure _ -> failwith (Printf.sprintf "bad index %S" s)
 
-let run layout_text table apply_idx inv_p emit_c emit_triton emit_mlir check =
+let run layout_text table apply_idx inv_p emit_c emit_triton emit_mlir check
+    jobs =
   match Lego_lang.Elab.layout_of_string layout_text with
   | Error e ->
     Printf.eprintf "error: %s\n" e;
@@ -88,7 +108,7 @@ let run layout_text table apply_idx inv_p emit_c emit_triton emit_mlir check =
     if emit_mlir then
       print_string (Lego_codegen.Mlir_gen.layout_apply_func ~name:"apply" g);
     if check then begin
-      match L.Check.layout g with
+      match L.Check.layout ~jobs:(resolve_jobs jobs) g with
       | Ok () -> print_endline "bijection: verified"
       | Error e ->
         Printf.printf "bijection: FAILED (%s)\n" e
@@ -148,13 +168,15 @@ let break_simplify_flag =
            verify the harness catches and shrinks it (the run is expected \
            to fail).")
 
-let run_conform seed iters max_points budget skip_gallery break_simplify =
+let run_conform seed iters max_points budget skip_gallery break_simplify jobs =
+  (* Flip before any pool exists: domains spawned later see the flag and
+     start with empty memo caches. *)
   if break_simplify then Lego_symbolic.Simplify.set_test_only_break_rule true;
   let report =
     Lego_conform.Conform.run ~gallery:(not skip_gallery) ~random:iters ~seed
       ~max_points ~budget_s:budget
       ~progress:(fun line -> Printf.eprintf "%s\n%!" line)
-      ()
+      ~jobs:(resolve_jobs jobs) ()
   in
   if break_simplify then Lego_symbolic.Simplify.set_test_only_break_rule false;
   Format.printf "%a@." Lego_conform.Conform.pp_report report;
@@ -180,7 +202,7 @@ let conform_cmd =
     (Cmd.info "conform" ~doc ~man)
     Term.(
       const run_conform $ seed_arg $ iters_arg $ max_points_arg $ budget_arg
-      $ skip_gallery_flag $ break_simplify_flag)
+      $ skip_gallery_flag $ break_simplify_flag $ jobs_arg)
 
 let layout_cmd =
   let doc = "derive index mappings from LEGO layout expressions" in
@@ -196,7 +218,7 @@ let layout_cmd =
     (Cmd.info "legoc" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ layout_arg $ table_flag $ apply_arg $ inv_arg $ c_flag
-      $ triton_flag $ mlir_flag $ check_flag)
+      $ triton_flag $ mlir_flag $ check_flag $ jobs_arg)
 
 let subcommands =
   let doc = "derive index mappings from LEGO layout expressions" in

@@ -23,18 +23,22 @@ type result = {
   scores : Mem.buffer;
 }
 
-let antidiag_piece = Hashtbl.create 4
+(* Domain-local: [buff_index] is called from execution-layer worker
+   domains (one bench configuration per task), so the memo must not be
+   shared mutable state. *)
+let antidiag_piece = Domain.DLS.new_key (fun () -> Hashtbl.create 4)
 
 let buff_index kind ~b i j =
   match kind with
   | RowMajor -> (i * (b + 1)) + j
   | AntiDiagonal ->
+    let memo = Domain.DLS.get antidiag_piece in
     let piece =
-      match Hashtbl.find_opt antidiag_piece (b + 1) with
+      match Hashtbl.find_opt memo (b + 1) with
       | Some p -> p
       | None ->
         let p = L.Gallery.antidiag (b + 1) in
-        Hashtbl.add antidiag_piece (b + 1) p;
+        Hashtbl.add memo (b + 1) p;
         p
     in
     L.Piece.apply_ints piece [ i; j ]

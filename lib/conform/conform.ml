@@ -1,5 +1,6 @@
 module L = Lego_layout
 module S = Lego_symbolic
+module Exec = Lego_exec.Exec
 module Cp = Lego_codegen.C_printer
 module Mg = Lego_codegen.Mlir_gen
 module Mp = Lego_mlirsim.Mparser
@@ -139,49 +140,112 @@ type report = {
   budget_exhausted : bool;
 }
 
+(* Point sampling is seeded purely by the layout's own identity — the
+   gallery name, or the (stream seed, index) pair of a random layout —
+   never by iteration order or a shared counter.  That is what makes a
+   printed [CONFORM_SEED=… CONFORM_ITERS=…] repro line (and a
+   [--skip-gallery] re-run) sample exactly the points of the original
+   failing run, and what lets layouts be checked on any domain of the
+   pool in any order with bit-identical reports. *)
+
+let gallery_sample_seed name = Hashtbl.hash ("gallery", name)
+let random_sample_seed ~seed ~index = Hashtbl.hash ("random", seed, index)
+
+(* One unit of fan-out work: a single layout checked (and, on mismatch,
+   shrunk) entirely within one domain. *)
+type task = {
+  t_origin : string;
+  t_repro : string option;
+  t_sample_seed : int;
+  t_layout : unit -> L.Group_by.t; (* generated inside the task *)
+}
+
+type task_result =
+  | Skipped (* the time budget was already exhausted when its turn came *)
+  | Checked of outcome * failure option
+
+let exec_task ?max_points ~progress ~over_budget t =
+  if over_budget () then Skipped
+  else begin
+    let g = t.t_layout () in
+    let sample_seed = t.t_sample_seed in
+    let o = check_layout ?max_points ~sample_seed g in
+    let failure =
+      match o.mismatch with
+      | None -> None
+      | Some m ->
+        progress
+          (Printf.sprintf "mismatch in %s [%s] — shrinking" t.t_origin m.stage);
+        (* Shrink candidates are judged on the same point sample that
+           exposed the mismatch, so sampled failures shrink reliably. *)
+        let still_fails c =
+          (check_layout ?max_points ~sample_seed c).mismatch <> None
+        in
+        let shrunk = Shrink.minimize still_fails g in
+        let mismatch =
+          match (check_layout ?max_points ~sample_seed shrunk).mismatch with
+          | Some m' -> m'
+          | None -> m (* shrinking preserves failure; defensive fallback *)
+        in
+        Some { origin = t.t_origin; repro = t.t_repro; layout = g; shrunk; mismatch }
+    in
+    Checked (o, failure)
+  end
+
 let run ?(gallery = true) ?(random = 200) ?(seed = 42) ?max_points
-    ?(budget_s = infinity) ?(progress = fun _ -> ()) () =
+    ?(budget_s = infinity) ?(progress = fun _ -> ()) ?(jobs = 1) () =
   let t0 = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t0 in
+  (* The budget is checked before every layout — the gallery pass too —
+     so a slow pass can overshoot by at most one layout, not unboundedly. *)
+  let over_budget () = elapsed () > budget_s in
+  let gallery_tasks =
+    if not gallery then []
+    else
+      List.map
+        (fun (name, g) ->
+          {
+            t_origin = "gallery: " ^ name;
+            t_repro = None;
+            t_sample_seed = gallery_sample_seed name;
+            t_layout = (fun () -> g);
+          })
+        Corpus.all
+  in
+  let random_tasks =
+    List.init random (fun index ->
+        {
+          t_origin = Printf.sprintf "random layout #%d (seed %d)" index seed;
+          t_repro =
+            Some
+              (Printf.sprintf "CONFORM_SEED=%d CONFORM_ITERS=%d legoc conform"
+                 seed (index + 1));
+          t_sample_seed = random_sample_seed ~seed ~index;
+          t_layout = (fun () -> Lgen.layout_of_seed ~seed ~index);
+        })
+  in
+  let tasks = Array.of_list (gallery_tasks @ random_tasks) in
+  let results =
+    Exec.with_pool ~jobs (fun pool ->
+        Exec.map ~chunk:1 ~pool tasks
+          (exec_task ?max_points ~progress ~over_budget))
+  in
+  (* Merge in submission order: counts, then failures, are identical for
+     any pool size. *)
   let layouts = ref 0 in
   let points = ref 0 in
   let c_skipped = ref 0 in
   let failures = ref [] in
   let budget_exhausted = ref false in
-  let still_fails g = (check_layout ?max_points g).mismatch <> None in
-  let check origin repro g =
-    incr layouts;
-    let o = check_layout ?max_points ~sample_seed:!layouts g in
-    points := !points + o.points;
-    if not o.c_checked then incr c_skipped;
-    match o.mismatch with
-    | None -> ()
-    | Some m ->
-      progress (Printf.sprintf "mismatch in %s [%s] — shrinking" origin m.stage);
-      let shrunk = Shrink.minimize still_fails g in
-      let mismatch =
-        match (check_layout ?max_points shrunk).mismatch with
-        | Some m' -> m'
-        | None -> m (* shrinking preserves failure; defensive fallback *)
-      in
-      failures := { origin; repro; layout = g; shrunk; mismatch } :: !failures
-  in
-  if gallery then
-    List.iter (fun (name, g) -> check ("gallery: " ^ name) None g) Corpus.all;
-  (try
-     for index = 0 to random - 1 do
-       if elapsed () > budget_s then begin
-         budget_exhausted := true;
-         raise Exit
-       end;
-       check
-         (Printf.sprintf "random layout #%d (seed %d)" index seed)
-         (Some
-            (Printf.sprintf "CONFORM_SEED=%d CONFORM_ITERS=%d legoc conform"
-               seed (index + 1)))
-         (Lgen.layout_of_seed ~seed ~index)
-     done
-   with Exit -> ());
+  Array.iter
+    (function
+      | Skipped -> budget_exhausted := true
+      | Checked (o, failure) ->
+        incr layouts;
+        points := !points + o.points;
+        if not o.c_checked then incr c_skipped;
+        Option.iter (fun f -> failures := f :: !failures) failure)
+    results;
   {
     layouts = !layouts;
     points = !points;

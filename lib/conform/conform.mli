@@ -39,6 +39,16 @@ val check_layout :
     [numel <= max_points] (default 2048); otherwise [max_points] seeded
     samples, deterministic in [sample_seed]. *)
 
+val gallery_sample_seed : string -> int
+(** The point-sampling seed {!run} uses for the gallery layout of that
+    name — a pure function of the name, so a re-run (with or without the
+    gallery, at any [jobs]) samples identical points. *)
+
+val random_sample_seed : seed:int -> index:int -> int
+(** The point-sampling seed {!run} uses for random layout [index] of
+    stream [seed] — a pure function of [(seed, index)], matching what a
+    [CONFORM_SEED=seed CONFORM_ITERS=index+1] reproduction samples. *)
+
 type failure = {
   origin : string;  (** ["gallery: <name>"] or ["random layout #k"]. *)
   repro : string option;  (** Command line reproducing the failure. *)
@@ -64,13 +74,24 @@ val run :
   ?max_points:int ->
   ?budget_s:float ->
   ?progress:(string -> unit) ->
+  ?jobs:int ->
   unit ->
   report
 (** [run ()] checks the {!Corpus} gallery (unless [gallery:false]) and
     then [random] (default 200) generated layouts from [seed] (default
     42), stopping early — with [budget_exhausted] set — once [budget_s]
-    seconds (default unlimited) have elapsed.  [progress] receives a line
-    per detected failure before shrinking starts. *)
+    seconds (default unlimited) have elapsed.  The budget is checked
+    before {e every} layout, gallery included.  [progress] receives a
+    line per detected failure before shrinking starts.
+
+    [jobs] (default 1) fans layouts out across that many domains of a
+    {!Lego_exec.Exec} pool.  Each layout is generated, checked, and
+    shrunk entirely within one domain, seeded purely by its identity
+    ({!gallery_sample_seed} / {!random_sample_seed}), and results are
+    merged in submission order — so the report (counts, failures, their
+    order, shrunk layouts, repro lines) is bit-identical for any [jobs].
+    Only [seconds], and which layouts a too-small [budget_s] cuts, can
+    vary.  [progress] may be called from any domain, concurrently. *)
 
 val pp_failure : Format.formatter -> failure -> unit
 val pp_report : Format.formatter -> report -> unit

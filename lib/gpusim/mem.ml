@@ -5,19 +5,19 @@ let dtype_name = function F8 -> "fp8" | F16 -> "fp16" | F32 -> "fp32" | I32 -> "
 
 type buffer = { id : int; label : string; dtype : dtype; data : float array }
 
-let next_id = ref 0
+(* Atomic: buffers are created from execution-layer worker domains (the
+   bench sweeps run one simulated kernel configuration per task), and ids
+   must stay distinct so coalescing never conflates two buffers. *)
+let next_id = Atomic.make 0
 
 let create ?(label = "buf") dtype n =
-  incr next_id;
-  { id = !next_id; label; dtype; data = Array.make n 0.0 }
+  { id = 1 + Atomic.fetch_and_add next_id 1; label; dtype; data = Array.make n 0.0 }
 
 let of_array ?(label = "buf") dtype data =
-  incr next_id;
-  { id = !next_id; label; dtype; data = Array.copy data }
+  { id = 1 + Atomic.fetch_and_add next_id 1; label; dtype; data = Array.copy data }
 
 let init ?(label = "buf") dtype n f =
-  incr next_id;
-  { id = !next_id; label; dtype; data = Array.init n f }
+  { id = 1 + Atomic.fetch_and_add next_id 1; label; dtype; data = Array.init n f }
 
 let length b = Array.length b.data
 let get b i = b.data.(i)

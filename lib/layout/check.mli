@@ -5,12 +5,16 @@
     the claim by enumeration (intended for tests and for validating small
     user-supplied layouts at construction time). *)
 
-val piece : Piece.t -> (unit, string) result
+val piece : ?jobs:int -> Piece.t -> (unit, string) result
 (** Check that a piece's [apply] is a bijection onto [0 .. numel - 1] and
-    that [inv] is its exact inverse. *)
+    that [inv] is its exact inverse.  [jobs] (default 1) splits large
+    index spaces into ranges checked in parallel on a {!Lego_exec.Exec}
+    pool, with a sequential occupancy merge: the verdict — including the
+    first violation reported and its message — is byte-identical at any
+    [jobs]. *)
 
-val layout : Group_by.t -> (unit, string) result
-(** Same check for a whole ensemble. *)
+val layout : ?jobs:int -> Group_by.t -> (unit, string) result
+(** Same check (and the same [jobs] contract) for a whole ensemble. *)
 
 val table : Group_by.t -> int array
 (** [table g] tabulates [apply] over the logical space in row-major order:

@@ -59,7 +59,14 @@ let equal a b = a == b || compare a b = 0
    short-circuit on physical identity, making each intern O(1).  The
    table is bounded: when it fills up it is flushed (counted as an
    eviction), after which [==] stays sound but loses completeness — which
-   is why [equal]/[compare] keep a structural fallback. *)
+   is why [equal]/[compare] keep a structural fallback.
+
+   The table (and its counters) are domain-local: each domain of the
+   execution layer (lib/exec) owns a private unique table, so interning
+   is lock-free and [==] completeness holds within a domain.  Nodes that
+   cross domains (e.g. built inside a worker task and returned) are
+   still sound — [equal]/[compare]'s structural fallback covers pairs
+   interned by different domains. *)
 
 type intern_stats = {
   mutable hits : int;
@@ -67,37 +74,40 @@ type intern_stats = {
   mutable evictions : int;
 }
 
-let intern_counters = { hits = 0; misses = 0; evictions = 0 }
+type intern_state = { tbl : (t, t) Hashtbl.t; counters : intern_stats }
+
 let intern_capacity = 1 lsl 17
-let intern_tbl : (t, t) Hashtbl.t = Hashtbl.create 4096
+
+let intern_key =
+  Domain.DLS.new_key (fun () ->
+      { tbl = Hashtbl.create 4096; counters = { hits = 0; misses = 0; evictions = 0 } })
 
 let intern e =
-  match Hashtbl.find_opt intern_tbl e with
+  let st = Domain.DLS.get intern_key in
+  match Hashtbl.find_opt st.tbl e with
   | Some e' ->
-    intern_counters.hits <- intern_counters.hits + 1;
+    st.counters.hits <- st.counters.hits + 1;
     e'
   | None ->
-    intern_counters.misses <- intern_counters.misses + 1;
-    if Hashtbl.length intern_tbl >= intern_capacity then begin
-      Hashtbl.reset intern_tbl;
-      intern_counters.evictions <- intern_counters.evictions + 1
+    st.counters.misses <- st.counters.misses + 1;
+    if Hashtbl.length st.tbl >= intern_capacity then begin
+      Hashtbl.reset st.tbl;
+      st.counters.evictions <- st.counters.evictions + 1
     end;
-    Hashtbl.add intern_tbl e e;
+    Hashtbl.add st.tbl e e;
     e
 
 let intern_stats () =
-  {
-    hits = intern_counters.hits;
-    misses = intern_counters.misses;
-    evictions = intern_counters.evictions;
-  }
+  let c = (Domain.DLS.get intern_key).counters in
+  { hits = c.hits; misses = c.misses; evictions = c.evictions }
 
 let reset_intern_stats () =
-  intern_counters.hits <- 0;
-  intern_counters.misses <- 0;
-  intern_counters.evictions <- 0
+  let c = (Domain.DLS.get intern_key).counters in
+  c.hits <- 0;
+  c.misses <- 0;
+  c.evictions <- 0
 
-let intern_size () = Hashtbl.length intern_tbl
+let intern_size () = Hashtbl.length (Domain.DLS.get intern_key).tbl
 
 let const n = intern (Const n)
 let var name = intern (Var name)

@@ -6,21 +6,36 @@ type stats = {
 }
 
 let stats () = { queries = 0; proved = 0; cache_hits = 0; cache_misses = 0 }
-let global_stats = stats ()
+
+(* Counters and the query cache are domain-local (like the {!Range}
+   caches): each domain of the execution layer proves and counts its own
+   goals without contention. *)
+
+type state = {
+  counters : stats;
+  mutable env_caches : (Range.env * (int * Expr.t * Expr.t, bool) Hashtbl.t) list;
+}
+
+let state_key =
+  Domain.DLS.new_key (fun () -> { counters = stats (); env_caches = [] })
+
+let global_stats () = (Domain.DLS.get state_key).counters
 
 let snapshot () =
+  let g = global_stats () in
   {
-    queries = global_stats.queries;
-    proved = global_stats.proved;
-    cache_hits = global_stats.cache_hits;
-    cache_misses = global_stats.cache_misses;
+    queries = g.queries;
+    proved = g.proved;
+    cache_hits = g.cache_hits;
+    cache_misses = g.cache_misses;
   }
 
 let reset () =
-  global_stats.queries <- 0;
-  global_stats.proved <- 0;
-  global_stats.cache_hits <- 0;
-  global_stats.cache_misses <- 0
+  let g = global_stats () in
+  g.queries <- 0;
+  g.proved <- 0;
+  g.cache_hits <- 0;
+  g.cache_misses <- 0
 
 let diff a b =
   {
@@ -31,8 +46,9 @@ let diff a b =
   }
 
 let record ok =
-  global_stats.queries <- global_stats.queries + 1;
-  if ok then global_stats.proved <- global_stats.proved + 1;
+  let g = global_stats () in
+  g.queries <- g.queries + 1;
+  if ok then g.proved <- g.proved + 1;
   ok
 
 (* ---- Query cache ------------------------------------------------------ *)
@@ -47,19 +63,16 @@ let record ok =
 let max_cached_envs = 8
 let max_cache_entries = 1 lsl 16
 
-let env_caches : (Range.env * (int * Expr.t * Expr.t, bool) Hashtbl.t) list ref
-    =
-  ref []
-
-let clear_cache () = env_caches := []
+let clear_cache () = (Domain.DLS.get state_key).env_caches <- []
 
 let cache_for env =
-  match List.find_opt (fun (e, _) -> e == env) !env_caches with
+  let st = Domain.DLS.get state_key in
+  match List.find_opt (fun (e, _) -> e == env) st.env_caches with
   | Some (_, tbl) -> tbl
   | None ->
     let tbl = Hashtbl.create 256 in
-    let kept = List.filteri (fun i _ -> i < max_cached_envs - 1) !env_caches in
-    env_caches := (env, tbl) :: kept;
+    let kept = List.filteri (fun i _ -> i < max_cached_envs - 1) st.env_caches in
+    st.env_caches <- (env, tbl) :: kept;
     tbl
 
 let goal_nonneg = 0
@@ -70,12 +83,13 @@ let goal_lt = 4
 
 let query goal env a b decide =
   let tbl = cache_for env in
+  let g = global_stats () in
   match Hashtbl.find_opt tbl (goal, a, b) with
   | Some ok ->
-    global_stats.cache_hits <- global_stats.cache_hits + 1;
+    g.cache_hits <- g.cache_hits + 1;
     record ok
   | None ->
-    global_stats.cache_misses <- global_stats.cache_misses + 1;
+    g.cache_misses <- g.cache_misses + 1;
     let ok = decide () in
     if Hashtbl.length tbl >= max_cache_entries then Hashtbl.reset tbl;
     Hashtbl.add tbl (goal, a, b) ok;

@@ -17,14 +17,17 @@ type stats = {
 }
 
 val stats : unit -> stats
-val global_stats : stats
-(** Shared counter reported by the Table-1 benchmark. *)
+val global_stats : unit -> stats
+(** The calling domain's live counter record, reported by the Table-1
+    benchmark.  Counters (and the query cache) are domain-local: each
+    execution-layer domain proves and counts its own goals. *)
 
 val snapshot : unit -> stats
-(** Copy of {!global_stats}, for per-experiment deltas. *)
+(** Copy of [global_stats ()], for per-experiment deltas. *)
 
 val reset : unit -> unit
-(** Zero {!global_stats} (the query cache is kept: verdicts stay valid). *)
+(** Zero the calling domain's counters (the query cache is kept:
+    verdicts stay valid). *)
 
 val diff : stats -> stats -> stats
 (** [diff after before] — field-wise difference of two snapshots. *)

@@ -125,35 +125,44 @@ type cache_stats = {
   mutable evictions : int;
 }
 
-let cache_counters = { hits = 0; misses = 0; evictions = 0 }
+(* Caches and counters are domain-local (like the {!Expr} unique table):
+   each domain of the execution layer keeps its own LRU of environments,
+   so parallel range analysis never contends or races. *)
+
+type cache_state = {
+  counters : cache_stats;
+  mutable env_caches : (env * (Expr.t, t) Hashtbl.t) list;
+}
+
+let cache_key =
+  Domain.DLS.new_key (fun () ->
+      { counters = { hits = 0; misses = 0; evictions = 0 }; env_caches = [] })
 
 let cache_stats () =
-  {
-    hits = cache_counters.hits;
-    misses = cache_counters.misses;
-    evictions = cache_counters.evictions;
-  }
+  let c = (Domain.DLS.get cache_key).counters in
+  { hits = c.hits; misses = c.misses; evictions = c.evictions }
 
 let reset_cache_stats () =
-  cache_counters.hits <- 0;
-  cache_counters.misses <- 0;
-  cache_counters.evictions <- 0
+  let c = (Domain.DLS.get cache_key).counters in
+  c.hits <- 0;
+  c.misses <- 0;
+  c.evictions <- 0
 
 let max_cached_envs = 8
 let max_cache_entries = 1 lsl 16
-let env_caches : (env * (Expr.t, t) Hashtbl.t) list ref = ref []
 
-let clear_cache () = env_caches := []
+let clear_cache () = (Domain.DLS.get cache_key).env_caches <- []
 
 let cache_for env =
-  match List.find_opt (fun (e, _) -> e == env) !env_caches with
+  let st = Domain.DLS.get cache_key in
+  match List.find_opt (fun (e, _) -> e == env) st.env_caches with
   | Some (_, tbl) -> tbl
   | None ->
     let tbl = Hashtbl.create 256 in
-    let kept = List.filteri (fun i _ -> i < max_cached_envs - 1) !env_caches in
-    if List.compare_length_with !env_caches (max_cached_envs - 1) > 0 then
-      cache_counters.evictions <- cache_counters.evictions + 1;
-    env_caches := (env, tbl) :: kept;
+    let kept = List.filteri (fun i _ -> i < max_cached_envs - 1) st.env_caches in
+    if List.compare_length_with st.env_caches (max_cached_envs - 1) > 0 then
+      st.counters.evictions <- st.counters.evictions + 1;
+    st.env_caches <- (env, tbl) :: kept;
     tbl
 
 let rec cached env tbl (e : Expr.t) =
@@ -161,16 +170,17 @@ let rec cached env tbl (e : Expr.t) =
   | Const n -> exact n
   | Var v -> env_find v env
   | _ -> (
+    let counters = (Domain.DLS.get cache_key).counters in
     match Hashtbl.find_opt tbl e with
     | Some r ->
-      cache_counters.hits <- cache_counters.hits + 1;
+      counters.hits <- counters.hits + 1;
       r
     | None ->
-      cache_counters.misses <- cache_counters.misses + 1;
+      counters.misses <- counters.misses + 1;
       let r = compute env tbl e in
       if Hashtbl.length tbl >= max_cache_entries then begin
         Hashtbl.reset tbl;
-        cache_counters.evictions <- cache_counters.evictions + 1
+        counters.evictions <- counters.evictions + 1
       end;
       Hashtbl.add tbl e r;
       r)

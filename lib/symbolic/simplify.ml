@@ -80,11 +80,13 @@ let rule_div ?stats env (a : Expr.t) (b : Expr.t) : Expr.t option =
    self-test: when enabled, [x mod d] is eliminated already for
    [0 <= x < 2d] (an off-by-factor-2 side condition).  Never enable
    outside tests; flip it via {!set_test_only_break_rule} so the memo
-   caches are flushed. *)
-let test_only_break_rule = ref false
+   caches are flushed.  Atomic so that execution-layer domains spawned
+   after the flip observe it (domains must not be running while it is
+   flipped: their domain-local memo caches are not flushed). *)
+let test_only_break_rule = Atomic.make false
 
 let broken_half_open env (a : Expr.t) (b : Expr.t) =
-  !test_only_break_rule
+  Atomic.get test_only_break_rule
   &&
   match b with
   | Expr.Const d when d > 1 ->
@@ -220,55 +222,66 @@ type cache_stats = {
   mutable evictions : int;
 }
 
-let cache_counters = { hits = 0; misses = 0; evictions = 0 }
-
-let cache_stats () =
-  {
-    hits = cache_counters.hits;
-    misses = cache_counters.misses;
-    evictions = cache_counters.evictions;
-  }
-
-let reset_cache_stats () =
-  cache_counters.hits <- 0;
-  cache_counters.misses <- 0;
-  cache_counters.evictions <- 0
-
 type env_cache = {
   rewrites : (Expr.t, Expr.t) Hashtbl.t;  (* one rewrite_once pass *)
   results : (Expr.t, Expr.t) Hashtbl.t;  (* full fixpoint, default fuel *)
 }
 
+(* Memo tables and counters are domain-local (like the {!Range} and
+   {!Prover} caches): each execution-layer domain rewrites against its
+   own memo, lock-free. *)
+
+type cache_state = {
+  counters : cache_stats;
+  mutable env_caches : (Range.env * env_cache) list;
+}
+
+let cache_key =
+  Domain.DLS.new_key (fun () ->
+      { counters = { hits = 0; misses = 0; evictions = 0 }; env_caches = [] })
+
+let cache_stats () =
+  let c = (Domain.DLS.get cache_key).counters in
+  { hits = c.hits; misses = c.misses; evictions = c.evictions }
+
+let reset_cache_stats () =
+  let c = (Domain.DLS.get cache_key).counters in
+  c.hits <- 0;
+  c.misses <- 0;
+  c.evictions <- 0
+
 let max_cached_envs = 8
 let max_cache_entries = 1 lsl 16
-let env_caches : (Range.env * env_cache) list ref = ref []
 
-let clear_cache () = env_caches := []
+let clear_cache () = (Domain.DLS.get cache_key).env_caches <- []
 
 let cache_for env =
-  match List.find_opt (fun (e, _) -> e == env) !env_caches with
+  let st = Domain.DLS.get cache_key in
+  match List.find_opt (fun (e, _) -> e == env) st.env_caches with
   | Some (_, c) -> c
   | None ->
     let c = { rewrites = Hashtbl.create 256; results = Hashtbl.create 64 } in
-    let kept = List.filteri (fun i _ -> i < max_cached_envs - 1) !env_caches in
-    if List.compare_length_with !env_caches (max_cached_envs - 1) > 0 then
-      cache_counters.evictions <- cache_counters.evictions + 1;
-    env_caches := (env, c) :: kept;
+    let kept = List.filteri (fun i _ -> i < max_cached_envs - 1) st.env_caches in
+    if List.compare_length_with st.env_caches (max_cached_envs - 1) > 0 then
+      st.counters.evictions <- st.counters.evictions + 1;
+    st.env_caches <- (env, c) :: kept;
     c
 
 let memo_find tbl e =
+  let counters = (Domain.DLS.get cache_key).counters in
   match Hashtbl.find_opt tbl e with
   | Some r ->
-    cache_counters.hits <- cache_counters.hits + 1;
+    counters.hits <- counters.hits + 1;
     Some r
   | None ->
-    cache_counters.misses <- cache_counters.misses + 1;
+    counters.misses <- counters.misses + 1;
     None
 
 let memo_add tbl e r =
   if Hashtbl.length tbl >= max_cache_entries then begin
     Hashtbl.reset tbl;
-    cache_counters.evictions <- cache_counters.evictions + 1
+    let counters = (Domain.DLS.get cache_key).counters in
+    counters.evictions <- counters.evictions + 1
   end;
   Hashtbl.add tbl e r
 
@@ -318,6 +331,8 @@ let simplify_closed ?stats ?fuel e =
   simplify ?stats ?fuel ~env:Range.empty_env e
 
 let set_test_only_break_rule enabled =
-  test_only_break_rule := enabled;
-  (* Cached fixpoints were computed under the other rule set. *)
+  Atomic.set test_only_break_rule enabled;
+  (* Cached fixpoints were computed under the other rule set.  Only the
+     calling domain's memo is flushed — flip the flag before spawning
+     execution-layer domains, never while they run. *)
   clear_cache ()

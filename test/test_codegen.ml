@@ -32,6 +32,16 @@ let test_template_scanner_edge_cases () =
     (CG.Template.render_exn ~bindings:[ ("x", "X") ] "{{{x}}}");
   (* Literal braces that never close stay literal. *)
   check_str "unclosed" "{{x" (CG.Template.render_exn ~bindings:[] "{{x");
+  (* A bare opener at end-of-input, and an opener whose marker never
+     terminates ("}" is not "}}"), must both survive as literals rather
+     than crash the scanner or be half-consumed. *)
+  check_str "opener at EOI" "{{" (CG.Template.render_exn ~bindings:[] "{{");
+  check_str "opener at EOI after text" "ab{{"
+    (CG.Template.render_exn ~bindings:[] "ab{{");
+  check_str "single closing brace" "{{ name }"
+    (CG.Template.render_exn ~bindings:[ ("name", "V") ] "{{ name }");
+  Alcotest.(check (list string)) "unterminated not collected" []
+    (CG.Template.placeholders "{{ name }");
   check_str "lone braces" "a {b} c"
     (CG.Template.render_exn ~bindings:[] "a {b} c");
   (* A non-identifier between the braces is not a placeholder. *)

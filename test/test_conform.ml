@@ -174,6 +174,160 @@ let test_flag_reset_restores_conformance () =
   Alcotest.(check int) "clean after reset" 0
     (List.length report.Conform.failures)
 
+(* --- Regression: budget accounting -------------------------------------- *)
+
+let test_budget_checked_before_every_layout () =
+  (* A zero budget is exhausted before the very first layout — including
+     the gallery pass, which an earlier version exempted from the check.
+     Nothing may run, and the report must say the budget cut it short. *)
+  let report = Conform.run ~gallery:true ~random:5 ~budget_s:0. () in
+  Alcotest.(check int) "no layouts checked" 0 report.Conform.layouts;
+  Alcotest.(check int) "no points evaluated" 0 report.Conform.points;
+  Alcotest.(check bool) "budget_exhausted set" true
+    report.Conform.budget_exhausted;
+  (* A generous budget on a tiny run must not trip the flag. *)
+  let ok = Conform.run ~gallery:false ~random:2 ~budget_s:3600. () in
+  Alcotest.(check bool) "budget not exhausted" false
+    ok.Conform.budget_exhausted
+
+(* --- Regression: identity-derived sample seeds --------------------------- *)
+
+let with_broken_rule f =
+  Lego_symbolic.Simplify.set_test_only_break_rule true;
+  Fun.protect
+    ~finally:(fun () -> Lego_symbolic.Simplify.set_test_only_break_rule false)
+    f
+
+(* Small [max_points] forces sampling on most generated layouts, so these
+   tests exercise the seed path rather than the exhaustive one. *)
+let sampled_max_points = 32
+
+let failure_key f =
+  ( f.Conform.origin,
+    f.Conform.repro,
+    Format.asprintf "%a" L.Group_by.pp f.Conform.layout,
+    Format.asprintf "%a" L.Group_by.pp f.Conform.shrunk,
+    f.Conform.mismatch.Conform.stage,
+    f.Conform.mismatch.Conform.detail )
+
+let test_sample_seed_independent_of_iteration_order () =
+  (* Sample seeds derive from layout identity, so dropping the gallery
+     pass must not change which points the random layouts sample — the
+     random-origin failures of the two runs must be identical.  (An
+     earlier version seeded from a shared counter, so any change in what
+     ran before a layout changed its points.) *)
+  with_broken_rule (fun () ->
+      let with_gallery =
+        Conform.run ~gallery:true ~random:25 ~seed:7
+          ~max_points:sampled_max_points ()
+      in
+      let without_gallery =
+        Conform.run ~gallery:false ~random:25 ~seed:7
+          ~max_points:sampled_max_points ()
+      in
+      let random_only r =
+        List.filter
+          (fun f ->
+            String.length f.Conform.origin >= 6
+            && String.sub f.Conform.origin 0 6 = "random")
+          r.Conform.failures
+      in
+      let a = List.map failure_key (random_only with_gallery) in
+      let b = List.map failure_key (random_only without_gallery) in
+      Alcotest.(check int) "same random failure count" (List.length a)
+        (List.length b);
+      List.iter2
+        (fun ka kb ->
+          Alcotest.(check bool)
+            (Printf.sprintf "failure %s identical" (match ka with o, _, _, _, _, _ -> o))
+            true (ka = kb))
+        a b;
+      (* Non-vacuity: at least one of those failures was on a sampled
+         (not exhaustively checked) layout, where the seed matters. *)
+      let sampled =
+        List.exists
+          (fun f -> L.Group_by.numel f.Conform.layout > sampled_max_points)
+          (random_only with_gallery)
+      in
+      Alcotest.(check bool) "covers a sampled layout" true sampled)
+
+(* --- Regression: shrinking reproduces from the pure (seed, index) seed --- *)
+
+let test_shrink_reproducible_from_identity_seed () =
+  (* Everything in a reported failure — detection, shrinking, the final
+     mismatch — must be recomputable from (seed, index) alone.  (An
+     earlier version shrank under a {e fresh} sample seed, so the shrunk
+     layout could stop failing, or shrink differently, on replay.) *)
+  with_broken_rule (fun () ->
+      let seed = 7 in
+      let report =
+        Conform.run ~gallery:false ~random:25 ~seed
+          ~max_points:sampled_max_points ()
+      in
+      let sampled_failures =
+        List.filter
+          (fun f -> L.Group_by.numel f.Conform.layout > sampled_max_points)
+          report.Conform.failures
+      in
+      Alcotest.(check bool) "at least one sampled failure" true
+        (sampled_failures <> []);
+      List.iter
+        (fun f ->
+          let index =
+            Scanf.sscanf f.Conform.origin "random layout #%d" (fun i -> i)
+          in
+          let g = Lgen.layout_of_seed ~seed ~index in
+          Alcotest.(check bool) "layout reproduced" true
+            (L.Group_by.equal g f.Conform.layout);
+          let sample_seed = Conform.random_sample_seed ~seed ~index in
+          let check c =
+            Conform.check_layout ~max_points:sampled_max_points ~sample_seed c
+          in
+          Alcotest.(check bool) "mismatch reproduced" true
+            ((check g).Conform.mismatch <> None);
+          let shrunk =
+            Shrink.minimize (fun c -> (check c).Conform.mismatch <> None) g
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: shrunk layout reproduced" f.Conform.origin)
+            true
+            (L.Group_by.equal shrunk f.Conform.shrunk))
+        sampled_failures)
+
+(* --- Determinism across pool sizes --------------------------------------- *)
+
+let same_report r1 r2 =
+  (* Structural equality modulo [seconds]. *)
+  r1.Conform.layouts = r2.Conform.layouts
+  && r1.Conform.points = r2.Conform.points
+  && r1.Conform.c_skipped = r2.Conform.c_skipped
+  && r1.Conform.budget_exhausted = r2.Conform.budget_exhausted
+  && List.map failure_key r1.Conform.failures
+     = List.map failure_key r2.Conform.failures
+
+let test_parallel_run_is_deterministic () =
+  (* The same corpus, with a seeded failure in it, at -j 1 and -j 4:
+     counts, failures, their order, shrunk layouts and repro lines must
+     all be bit-identical. *)
+  with_broken_rule (fun () ->
+      let go jobs gallery =
+        Conform.run ~gallery ~random:20 ~seed:7 ~max_points:sampled_max_points
+          ~jobs ()
+      in
+      let r1 = go 1 true and r4 = go 4 true in
+      Alcotest.(check bool) "failures found" true (r1.Conform.failures <> []);
+      Alcotest.(check bool) "-j 4 == -j 1 (gallery)" true (same_report r1 r4);
+      let s1 = go 1 false and s4 = go 4 false in
+      Alcotest.(check bool) "-j 4 == -j 1 (no gallery)" true
+        (same_report s1 s4))
+
+let test_parallel_run_clean_stream () =
+  (* Determinism must also hold on a clean corpus (no failures at all). *)
+  let go jobs = Conform.run ~gallery:true ~random:15 ~seed:3 ~jobs () in
+  let r1 = go 1 and r4 = go 4 in
+  Alcotest.(check int) "no failures" 0 (List.length r1.Conform.failures);
+  Alcotest.(check bool) "-j 4 == -j 1" true (same_report r1 r4)
+
 let suite =
   ( "conform",
     [
@@ -190,4 +344,14 @@ let suite =
         test_broken_rule_caught_and_shrunk;
       Alcotest.test_case "flag reset restores conformance" `Quick
         test_flag_reset_restores_conformance;
+      Alcotest.test_case "budget checked before every layout" `Quick
+        test_budget_checked_before_every_layout;
+      Alcotest.test_case "sample seed independent of iteration order" `Quick
+        test_sample_seed_independent_of_iteration_order;
+      Alcotest.test_case "shrink reproducible from (seed, index)" `Quick
+        test_shrink_reproducible_from_identity_seed;
+      Alcotest.test_case "parallel run deterministic (seeded failure)" `Quick
+        test_parallel_run_is_deterministic;
+      Alcotest.test_case "parallel run deterministic (clean stream)" `Quick
+        test_parallel_run_clean_stream;
     ] )

@@ -1,0 +1,117 @@
+(* Tests for the execution layer (lib/exec): deterministic order of the
+   merged results, per-task exception capture with lowest-index re-raise,
+   pool reuse, the jobs=1 degenerate pool, and misuse guards. *)
+
+module X = Lego_exec.Exec
+
+exception Boom of int
+
+let test_map_preserves_order () =
+  X.with_pool ~jobs:4 (fun pool ->
+      let n = 1000 in
+      let xs = Array.init n (fun i -> i) in
+      let ys = X.map ~pool xs (fun i -> (i * i) + 1) in
+      Alcotest.(check int) "length" n (Array.length ys);
+      Array.iteri
+        (fun i y -> Alcotest.(check int) (Printf.sprintf "slot %d" i)
+            ((i * i) + 1) y)
+        ys;
+      (* Tiny chunks exercise the work-stealing cursor on many claims. *)
+      let zs = X.map ~chunk:1 ~pool xs (fun i -> i - 7) in
+      Array.iteri
+        (fun i z -> Alcotest.(check int) (Printf.sprintf "chunk1 slot %d" i)
+            (i - 7) z)
+        zs)
+
+let test_map_empty_and_jobs1 () =
+  X.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "empty" 0
+        (Array.length (X.map ~pool [||] (fun i -> i)));
+      let ys = X.map ~pool [| 10; 20; 30 |] (fun i -> i + 1) in
+      Alcotest.(check (list int)) "jobs=1" [ 11; 21; 31 ]
+        (Array.to_list ys))
+
+let test_exception_lowest_index_and_no_abort () =
+  X.with_pool ~jobs:4 (fun pool ->
+      let n = 200 in
+      let ran = Atomic.make 0 in
+      let xs = Array.init n (fun i -> i) in
+      (* Several tasks raise; the caller must see the lowest-index one,
+         and the batch must still run every other task (no early abort —
+         that is what makes the failure deterministic at any -j). *)
+      (match
+         X.map ~chunk:1 ~pool xs (fun i ->
+             Atomic.incr ran;
+             if i = 17 || i = 3 || i = 150 then raise (Boom i);
+             i)
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i -> Alcotest.(check int) "lowest index wins" 3 i);
+      Alcotest.(check int) "all tasks still ran" n (Atomic.get ran);
+      (* The pool survives a raising batch. *)
+      let ys = X.map ~pool xs (fun i -> 2 * i) in
+      Alcotest.(check int) "pool reusable after raise" 398 ys.(199))
+
+let test_pool_reuse_across_batches () =
+  X.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check int) "jobs" 3 (X.jobs pool);
+      for round = 1 to 20 do
+        let xs = Array.init 50 (fun i -> i) in
+        let ys = X.map ~pool xs (fun i -> (round * 1000) + i) in
+        Alcotest.(check int)
+          (Printf.sprintf "round %d" round)
+          ((round * 1000) + 49)
+          ys.(49)
+      done)
+
+let test_misuse_guards () =
+  X.with_pool ~jobs:2 (fun pool ->
+      (* Nested map on the same pool would deadlock; it must raise. *)
+      (match
+         X.map ~pool [| 0 |] (fun _ ->
+             X.map ~pool [| 1 |] (fun i -> i))
+       with
+      | _ -> Alcotest.fail "nested map must be rejected"
+      | exception Invalid_argument _ -> ());
+      match X.map ~chunk:0 ~pool [| 1 |] (fun i -> i) with
+      | _ -> Alcotest.fail "chunk 0 must be rejected"
+      | exception Invalid_argument _ -> ());
+  (match X.create ~jobs:0 () with
+  | _ -> Alcotest.fail "jobs 0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  (* A shut-down pool refuses further batches. *)
+  let pool = X.create ~jobs:2 () in
+  X.shutdown pool;
+  match X.map ~pool [| 1 |] (fun i -> i) with
+  | _ -> Alcotest.fail "map after shutdown must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_default_jobs_env () =
+  let saved = Sys.getenv_opt "LEGO_JOBS" in
+  let restore () =
+    match saved with
+    | Some v -> Unix.putenv "LEGO_JOBS" v
+    | None -> Unix.putenv "LEGO_JOBS" ""
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "LEGO_JOBS" "3";
+      Alcotest.(check int) "LEGO_JOBS honoured" 3 (X.default_jobs ());
+      Unix.putenv "LEGO_JOBS" "not-a-number";
+      Alcotest.(check bool) "garbage falls back to a positive count" true
+        (X.default_jobs () >= 1))
+
+let suite =
+  ( "exec",
+    [
+      Alcotest.test_case "map preserves submission order" `Quick
+        test_map_preserves_order;
+      Alcotest.test_case "empty input and jobs=1" `Quick
+        test_map_empty_and_jobs1;
+      Alcotest.test_case "lowest-index exception, no early abort" `Quick
+        test_exception_lowest_index_and_no_abort;
+      Alcotest.test_case "pool reuse across batches" `Quick
+        test_pool_reuse_across_batches;
+      Alcotest.test_case "misuse guards" `Quick test_misuse_guards;
+      Alcotest.test_case "default_jobs reads LEGO_JOBS" `Quick
+        test_default_jobs_env;
+    ] )

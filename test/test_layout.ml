@@ -372,6 +372,78 @@ let prop_tile_by_is_strip_mining =
            (fun i -> List.init k (fun j -> (i, j)))
            (List.init m Fun.id)))
 
+(* --- Parallel bijectivity checking ------------------------------------- *)
+
+(* A 80x80 GenP (6400 elements, past the parallel threshold) whose flat
+   map is parameterized by a tweak expressed in pure domain arithmetic,
+   so each broken variant exercises one error kind of the checker.  The
+   tweaks live in a record so they stay polymorphic across domains. *)
+type tweak = { tw : 'a. (module Domain.S with type t = 'a) -> 'a -> 'a }
+
+let big_piece ~name ~tweak_apply ~tweak_inv =
+  let w = 80 in
+  let flat (type a) (module D : Domain.S with type t = a) idx : a =
+    match idx with
+    | [ i; j ] -> D.add (D.mul i (D.const w)) j
+    | _ -> invalid_arg "big_piece: rank"
+  in
+  Piece.gen ~name ~dims:[ w; w ]
+    {
+      gb_apply =
+        (fun (type a) (module D : Domain.S with type t = a) idx ->
+          tweak_apply.tw (module D : Domain.S with type t = a)
+            (flat (module D) idx));
+      gb_inv =
+        (fun (type a) (module D : Domain.S with type t = a) p ->
+          let p = tweak_inv.tw (module D : Domain.S with type t = a) p in
+          [ D.div p (D.const w); D.rem p (D.const w) ]);
+    }
+
+let id_tweak = { tw = (fun (type a) (module _ : Domain.S with type t = a) x -> x) }
+
+let test_parallel_check_matches_sequential () =
+  let cases =
+    [
+      (* Clean: a rotation by 13 is a bijection. *)
+      big_piece ~name:"rot13"
+        ~tweak_apply:
+          { tw = (fun (type a) (module D : Domain.S with type t = a) x ->
+                D.rem (D.add x (D.const 13)) (D.const 6400)) }
+        ~tweak_inv:
+          { tw = (fun (type a) (module D : Domain.S with type t = a) p ->
+                D.rem (D.add p (D.const 6387)) (D.const 6400)) };
+      (* Duplicate: logical 5000 collides with 4999. *)
+      big_piece ~name:"dup"
+        ~tweak_apply:
+          { tw = (fun (type a) (module D : Domain.S with type t = a) x ->
+                D.select (D.eq x (D.const 5000)) (D.const 4999) x) }
+        ~tweak_inv:id_tweak;
+      (* Bounds: logical 6000 escapes the physical space. *)
+      big_piece ~name:"oob"
+        ~tweak_apply:
+          { tw = (fun (type a) (module D : Domain.S with type t = a) x ->
+                D.select (D.eq x (D.const 6000)) (D.const 7000) x) }
+        ~tweak_inv:id_tweak;
+      (* Roundtrip: inv is wrong at p = 4500. *)
+      big_piece ~name:"badinv" ~tweak_apply:id_tweak
+        ~tweak_inv:
+          { tw = (fun (type a) (module D : Domain.S with type t = a) p ->
+                D.select (D.eq p (D.const 4500)) (D.const 4501) p) };
+    ]
+  in
+  List.iter
+    (fun p ->
+      let seq = Check.piece ~jobs:1 p in
+      let par = Check.piece ~jobs:4 p in
+      Alcotest.(check (result unit string))
+        (Format.asprintf "verdict identical for %a" Piece.pp p)
+        seq par)
+    cases;
+  (* Non-vacuity: the broken variants really do fail. *)
+  match List.map (Check.piece ~jobs:4) cases with
+  | [ Ok (); Error _; Error _; Error _ ] -> ()
+  | _ -> Alcotest.fail "expected one clean and three failing pieces"
+
 let props = [ prop_layout_bijective; prop_inv_apply_id; prop_tile_by_is_strip_mining ]
 
 let suite =
@@ -404,5 +476,7 @@ let suite =
       Alcotest.test_case "gallery lookup" `Quick test_gallery_lookup;
       Alcotest.test_case "size mismatch rejected" `Quick
         test_size_mismatch_rejected;
+      Alcotest.test_case "parallel check matches sequential" `Quick
+        test_parallel_check_matches_sequential;
     ]
     @ List.map (QCheck_alcotest.to_alcotest ~long:false) props )

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "lego"
     [
+      Test_exec.suite;
       Test_layout.suite;
       Test_symbolic.suite;
       Test_simplify_fuzz.suite;

@@ -214,7 +214,7 @@ let test_prover_reset_snapshot () =
   ignore (Prover.nonneg env_qr q);
   check_int "snapshot is immutable" 1 after.Prover.queries;
   Prover.reset ();
-  check_int "reset zeroes globals" 0 Prover.global_stats.Prover.queries
+  check_int "reset zeroes globals" 0 (Prover.global_stats ()).Prover.queries
 
 let test_simplify_memo_consistent () =
   (* The memoized (stats-less) path and the exact (stats) path agree. *)
