@@ -1,7 +1,7 @@
 # Tier-1 gate: the repo must build and its test suite must pass.
-.PHONY: check build test conform conform-serial bench clean
+.PHONY: check build test conform conform-serial tune-smoke bench clean
 
-check: build test conform
+check: build test conform tune-smoke
 
 build:
 	dune build
@@ -20,6 +20,12 @@ conform:
 # Same corpus on a single domain — the reference for determinism triage.
 conform-serial:
 	dune exec bin/legoc.exe -- conform --budget 30 -j 1
+
+# Autotuner smoke test: a tiny budget on two domains must still
+# rediscover the conflict-free XOR swizzle for the matmul staging tile
+# (and its winner must pass the four-semantics conformance check).
+tune-smoke:
+	dune exec bin/legoc.exe -- tune matmul --budget 48 --top 6 -j 2 --expect-conflict-free
 
 bench:
 	dune exec bench/main.exe

@@ -11,6 +11,15 @@
 open Cmdliner
 module L = Lego_layout
 
+(* One-line docs, shared between each sub-command's man page and the
+   top-level overview so the listing cannot drift. *)
+let layout_doc = "derive index mappings from LEGO layout expressions"
+
+let conform_doc =
+  "differentially test the four layout semantics against each other"
+
+let tune_doc = "autotune shared-memory layouts against the SIMT cost model"
+
 let layout_arg =
   let doc = "Layout in LEGO notation, e.g. \
              'OrderBy2(RegP([2,2],[2,1])).GroupBy2([4,4])'." in
@@ -183,9 +192,7 @@ let run_conform seed iters max_points budget skip_gallery break_simplify jobs =
   if report.Lego_conform.Conform.failures = [] then 0 else 1
 
 let conform_cmd =
-  let doc =
-    "differentially test the four layout semantics against each other"
-  in
+  let doc = conform_doc in
   let man =
     [
       `S Manpage.s_description;
@@ -204,8 +211,150 @@ let conform_cmd =
       const run_conform $ seed_arg $ iters_arg $ max_points_arg $ budget_arg
       $ skip_gallery_flag $ break_simplify_flag $ jobs_arg)
 
+(* ---- legoc tune: the layout autotuner --------------------------------- *)
+
+module T = Lego_tune
+
+let slots_arg =
+  let doc =
+    "Kernel slots to tune (matmul, transpose, nw); all of them when \
+     omitted."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"SLOT" ~doc)
+
+let tune_budget_arg =
+  Arg.(
+    value
+    & opt int T.Tune.default_options.T.Tune.budget
+    & info [ "budget" ] ~docv:"N"
+        ~doc:"Maximum candidates scored by the static pre-filter.")
+
+let tune_top_arg =
+  Arg.(
+    value
+    & opt int T.Tune.default_options.T.Tune.top
+    & info [ "top" ] ~docv:"K"
+        ~doc:"Statically best survivors run through the full simulator.")
+
+let tune_beam_arg =
+  Arg.(
+    value
+    & opt int T.Tune.default_options.T.Tune.beam
+    & info [ "beam" ] ~docv:"W"
+        ~doc:"Beam width: candidates refined per exploration level.")
+
+let tune_seed_arg =
+  let env =
+    Cmd.Env.info "LEGO_TUNE_SEED" ~doc:"Search-space enumeration seed."
+  in
+  Arg.(
+    value
+    & opt int 0
+    & info [ "seed" ] ~env ~docv:"SEED"
+        ~doc:
+          "Space-enumeration seed; 0 keeps the canonical candidate order.")
+
+let expect_cf_flag =
+  Arg.(
+    value
+    & flag
+    & info
+        [ "expect-conflict-free" ]
+        ~doc:
+          "Exit non-zero unless every slot's winner is bank-conflict-free \
+           (predicted, and simulated where the kernel is full-warp).")
+
+let no_conform_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "no-conform" ]
+        ~doc:"Skip the four-semantics conformance check of the winners.")
+
+let run_tune slot_names budget top beam seed jobs expect_cf no_conform =
+  let jobs = resolve_jobs jobs in
+  let slots =
+    match slot_names with
+    | [] -> Ok (T.Slot.all ())
+    | names ->
+      List.fold_right
+        (fun n acc ->
+          match (acc, T.Slot.find n) with
+          | Error _, _ -> acc
+          | Ok _, None ->
+            Error
+              (Printf.sprintf "unknown slot %S (known: %s)" n
+                 (String.concat ", "
+                    (List.map (fun s -> s.T.Slot.name) (T.Slot.all ()))))
+          | Ok ss, Some s -> Ok (s :: ss))
+        names (Ok [])
+  in
+  match slots with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    2
+  | Ok slots ->
+    let options =
+      {
+        T.Tune.default_options with
+        T.Tune.budget;
+        top;
+        beam;
+        seed;
+        jobs;
+        conform = not no_conform;
+      }
+    in
+    let ok = ref true in
+    List.iter
+      (fun s ->
+        let r = T.Tune.search ~options s in
+        Format.printf "%a@." T.Tune.pp_result r;
+        (match T.Tune.conform_ok r with
+        | Some false -> ok := false
+        | Some true | None -> ());
+        if expect_cf then begin
+          let pred_cf =
+            T.Predict.conflict_free r.T.Tune.winner.T.Tune.static_score
+          in
+          let sim_cf =
+            (not s.T.Slot.full_warps)
+            ||
+            match r.T.Tune.winner.T.Tune.sim with
+            | Some sim -> T.Slot.sim_conflict_free sim
+            | None -> false
+          in
+          if not (pred_cf && sim_cf) then begin
+            Printf.eprintf "slot %s: winner is not conflict-free\n"
+              s.T.Slot.name;
+            ok := false
+          end
+        end)
+      slots;
+    if !ok then 0 else 1
+
+let tune_cmd =
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Searches a seeded, deterministic space of LEGO layouts (sigma \
+         permutations, two-level tilings, XOR-swizzle families) for each \
+         kernel slot: a cheap static bank-conflict/coalescing predictor \
+         prunes the space, the survivors run the full SIMT simulator, \
+         and the winner is cross-checked by the conformance harness.  \
+         Results are bit-identical for any --jobs.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:tune_doc ~man)
+    Term.(
+      const run_tune $ slots_arg $ tune_budget_arg $ tune_top_arg
+      $ tune_beam_arg $ tune_seed_arg $ jobs_arg $ expect_cf_flag
+      $ no_conform_flag)
+
 let layout_cmd =
-  let doc = "derive index mappings from LEGO layout expressions" in
+  let doc = layout_doc in
   let man =
     [
       `S Manpage.s_description;
@@ -220,16 +369,43 @@ let layout_cmd =
       const run $ layout_arg $ table_flag $ apply_arg $ inv_arg $ c_flag
       $ triton_flag $ mlir_flag $ check_flag $ jobs_arg)
 
+let subcommand_cmds = [ conform_cmd; tune_cmd ]
+
 let subcommands =
-  let doc = "derive index mappings from LEGO layout expressions" in
-  Cmd.group (Cmd.info "legoc" ~version:"1.0.0" ~doc) [ conform_cmd ]
+  Cmd.group (Cmd.info "legoc" ~version:"1.0.0" ~doc:layout_doc) subcommand_cmds
+
+(* The top-level overview: every sub-command with its one-line doc, plus
+   the default layout-expression mode.  Printed (exit 0) for a bare
+   `legoc`, `legoc --help`/-h, and `legoc help`. *)
+let print_overview () =
+  print_endline "legoc - the LEGO layout compiler (v1.0.0)";
+  print_newline ();
+  print_endline "Usage:";
+  Printf.printf "  legoc LAYOUT [OPTION]...\n      %s\n" layout_doc;
+  List.iter
+    (fun (cmd, doc) ->
+      Printf.printf "  legoc %s [OPTION]...\n      %s\n" (Cmd.name cmd) doc)
+    [ (conform_cmd, conform_doc); (tune_cmd, tune_doc) ];
+  print_newline ();
+  print_endline
+    "Run `legoc <command> --help' (or `legoc LAYOUT --help') for the full \
+     option list of each mode."
 
 (* A layout expression is a positional argument, which cmdliner's command
    groups would swallow as an (unknown) sub-command name — so dispatch on
    the first word ourselves: known sub-commands go through the group,
    anything else is the classic layout CLI. *)
 let () =
+  let wants_overview =
+    Array.length Sys.argv <= 1
+    || (Array.length Sys.argv = 2
+       && List.mem Sys.argv.(1) [ "--help"; "-h"; "help" ])
+  in
+  if wants_overview then begin
+    print_overview ();
+    exit 0
+  end;
   let is_subcommand =
-    Array.length Sys.argv > 1 && List.mem Sys.argv.(1) [ "conform" ]
+    List.mem Sys.argv.(1) (List.map Cmd.name subcommand_cmds)
   in
   exit (Cmd.eval' (if is_subcommand then subcommands else layout_cmd))

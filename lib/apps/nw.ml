@@ -65,15 +65,14 @@ let cpu_reference cfg =
 
 (* One kernel launch processes all tiles on one anti-diagonal of the tile
    grid; [ti_lo] is the first tile row on that diagonal. *)
-let tile_kernel cfg kind scores ~wrap ~d ~ti_lo (ctx : Simt.ctx) =
+let tile_kernel cfg ~sbuff ~addr_cost scores ~wrap ~d ~ti_lo (ctx : Simt.ctx)
+    =
   let b = cfg.b and n = cfg.length + 1 in
   let ti = ti_lo + ctx.bx in
   let tj = d - ti in
   let tx = ctx.tx in
   let base_i = ti * b and base_j = tj * b in
-  let sbuff i j = buff_index kind ~b i j in
   let sref_base = (b + 1) * (b + 1) in
-  let addr_cost = if kind = AntiDiagonal then 8 else 2 in
   (* Stage boundaries: top row, left column, corner. *)
   Simt.alu addr_cost;
   Simt.sstore (sbuff 0 (tx + 1)) (Simt.gload scores (wrap ((base_i * n) + base_j + tx + 1)));
@@ -118,7 +117,11 @@ let tile_kernel cfg kind scores ~wrap ~d ~ti_lo (ctx : Simt.ctx) =
     Simt.gstore scores (wrap (((base_i + i) * n) + base_j + j)) v
   done
 
-let run ?(device = Device.a100) kind cfg =
+(* Fully parameterized driver: [sbuff] maps logical [(i, j)] of the
+   [(b+1) x (b+1)] score buffer to a shared-memory word, [addr_cost] is
+   the per-access ALU charge of evaluating that map on a GPU.  The
+   autotuner calls this directly with candidate layouts. *)
+let run_custom ?(device = Device.a100) ~sbuff ~addr_cost cfg =
   let n = cfg.length + 1 in
   let nb = cfg.length / cfg.b in
   let cap = if cfg.compute_values then n * n else 1 lsl 22 in
@@ -136,7 +139,7 @@ let run ?(device = Device.a100) kind cfg =
     let r =
       Simt.run ~device ?sample_blocks ~grid:(blocks, 1) ~block:(cfg.b, 1)
         ~smem_words
-        (tile_kernel cfg kind scores ~wrap ~d ~ti_lo)
+        (tile_kernel cfg ~sbuff ~addr_cost scores ~wrap ~d ~ti_lo)
     in
     reports := r :: !reports
   done;
@@ -144,6 +147,12 @@ let run ?(device = Device.a100) kind cfg =
   let time_s = Metrics.sum_times_s reports in
   let cells = float_of_int cfg.length *. float_of_int cfg.length in
   { time_s; cells_per_s = cells /. time_s; reports; scores }
+
+let run ?device kind cfg =
+  run_custom ?device
+    ~sbuff:(buff_index kind ~b:cfg.b)
+    ~addr_cost:(if kind = AntiDiagonal then 8 else 2)
+    cfg
 
 let check_numerics kind cfg =
   let cfg = { cfg with compute_values = true } in

@@ -36,6 +36,19 @@ val buff_index : layout_kind -> b:int -> int -> int -> int
 val run :
   ?device:Lego_gpusim.Device.t -> layout_kind -> config -> result
 
+val run_custom :
+  ?device:Lego_gpusim.Device.t ->
+  sbuff:(int -> int -> int) ->
+  addr_cost:int ->
+  config ->
+  result
+(** [run_custom ~sbuff ~addr_cost cfg] runs the same kernel with an
+    arbitrary shared score-buffer layout: [sbuff i j] is the shared word
+    of logical [(i, j)] over the [(b+1) x (b+1)] space and [addr_cost]
+    the per-access ALU charge of that address computation.  [run] is the
+    special case using {!buff_index} (cost 2 row-major, 8 anti-diagonal);
+    the autotuner feeds candidate layouts through this entry point. *)
+
 val cpu_reference : config -> int array
 (** Sequential DP over the same random inputs. *)
 

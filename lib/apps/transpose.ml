@@ -2,7 +2,11 @@ module L = Lego_layout
 module G = Lego_gpusim
 open G
 
-type smem_layout = Unpadded | Padded | Swizzled
+type smem_layout =
+  | Unpadded
+  | Padded
+  | Swizzled
+  | Layout of L.Group_by.t
 
 type config = { m : int; n : int; tile : int; compute_values : bool }
 
@@ -79,6 +83,10 @@ let smem_view cfg layout =
   | Swizzled ->
     let piece = L.Gallery.xor_swizzle ~rows:t ~cols:t in
     ((fun i j -> L.Piece.apply_ints piece [ i; j ]), t * t)
+  | Layout g ->
+    if L.Group_by.shapes g <> [ [ t; t ] ] then
+      invalid_arg "Transpose: custom shared layout must view [tile; tile]";
+    ((fun i j -> L.Group_by.apply_ints g [ i; j ]), L.Group_by.numel g)
 
 let run_shared ?(device = Device.a100) ?(sample_blocks = 4)
     ?(smem_layout = Swizzled) cfg =

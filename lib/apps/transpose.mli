@@ -8,7 +8,13 @@
     conflicts, an XOR-swizzled layout (from {!Lego_layout.Gallery}) does
     not. *)
 
-type smem_layout = Unpadded | Padded | Swizzled
+type smem_layout =
+  | Unpadded
+  | Padded
+  | Swizzled
+  | Layout of Lego_layout.Group_by.t
+      (** Any LEGO view of the [tile x tile] logical space — the hook the
+          autotuner uses to try arbitrary shared-memory candidates. *)
 
 type config = {
   m : int;

@@ -45,6 +45,14 @@ let all =
       L.Group_by.make
         ~chain:[ L.Order_by.make [ L.Gallery.xor_swizzle ~rows:16 ~cols:8 ] ]
         [ [ 16; 8 ] ] );
+    ( "masked XOR-swizzled smem tile",
+      L.Group_by.make
+        ~chain:
+          [
+            L.Order_by.make
+              [ L.Gallery.xor_swizzle_masked ~rows:32 ~cols:16 ~mask:7 ~shift:1 ];
+          ]
+        [ [ 32; 16 ] ] );
     ( "cyclic diagonal 9x9",
       L.Group_by.make
         ~chain:[ L.Order_by.make [ L.Gallery.cyclic_diag 9 ] ]

@@ -52,6 +52,16 @@ let gen_piece rng m =
         L.Gallery.xor_swizzle
           ~rows:(m lsr cols_bits)
           ~cols:(1 lsl cols_bits));
+    add (fun () ->
+        (* Masked swizzle: any key mask below [cols] (including 0 and
+           non-prefix masks) and a small row shift. *)
+        let cols_bits = 1 + Random.State.int rng (bits - 1) in
+        let cols = 1 lsl cols_bits in
+        L.Gallery.xor_swizzle_masked
+          ~rows:(m lsr cols_bits)
+          ~cols
+          ~mask:(Random.State.int rng cols)
+          ~shift:(Random.State.int rng 3));
     if bits mod 2 = 0 then begin
       add (fun () -> L.Gallery.morton ~d:2 ~bits:(bits / 2));
       add (fun () -> L.Gallery.hilbert ~bits:(bits / 2))

@@ -201,6 +201,54 @@ let xor_swizzle ~rows ~cols =
           [ i; swz (module D) i j' ]);
     }
 
+(* Parameterized XOR swizzle: the autotuner's shared-memory family.  The
+   row key xored into the column is [((i >> shift) land mask)]; [mask <
+   cols] keeps the xor inside the row, so each row is permuted in place
+   and the whole map stays a bijection.  [mask = cols-1, shift = 0] is
+   the classic {!xor_swizzle}; [mask = 0] degenerates to row-major. *)
+
+let xor_swizzle_masked ~rows ~cols ~mask ~shift =
+  if rows <= 0 then
+    invalid_arg "Gallery.xor_swizzle_masked: rows must be positive";
+  let bits = log2_exact "Gallery.xor_swizzle_masked" cols in
+  if mask < 0 || mask >= cols then
+    invalid_arg "Gallery.xor_swizzle_masked: mask must be in 0 .. cols-1";
+  if shift < 0 || shift > Sys.int_size - 2 then
+    invalid_arg "Gallery.xor_swizzle_masked: bad shift";
+  let key (type a) (module D : Domain.S with type t = a) (i : a) : a =
+    let shifted = if shift = 0 then i else D.div i (D.const (1 lsl shift)) in
+    if mask = 0 then D.const 0
+    else if (mask + 1) land mask = 0 then
+      (* Prefix mask: a single mod keeps the expression cheap. *)
+      D.rem shifted (D.const (mask + 1))
+    else begin
+      (* General mask: extract exactly the selected bits. *)
+      let acc = ref (D.const 0) in
+      for b = 0 to bits - 1 do
+        if mask land (1 lsl b) <> 0 then
+          acc := D.add !acc (shl (module D) (bit (module D) shifted b) b)
+      done;
+      !acc
+    end
+  in
+  let swz (type a) (module D : Domain.S with type t = a) i j : a =
+    xor_word (module D) ~bits j (key (module D) i)
+  in
+  Piece.gen
+    ~name:(Printf.sprintf "swizzlex_m%d_s%d" mask shift)
+    ~dims:[ rows; cols ]
+    {
+      gb_apply =
+        (fun (type a) (module D : Domain.S with type t = a) idx ->
+          let i, j = two_idx "swizzlex" idx in
+          D.add (D.mul i (D.const cols)) (swz (module D) i j));
+      gb_inv =
+        (fun (type a) (module D : Domain.S with type t = a) flat ->
+          let i = D.div flat (D.const cols) in
+          let j' = D.rem flat (D.const cols) in
+          [ i; swz (module D) i j' ]);
+    }
+
 (* Cyclic diagonal storage. *)
 
 let cyclic_diag n =
@@ -261,10 +309,44 @@ let of_table ~name ~dims f =
 (* Registry for the surface-language elaborator. *)
 
 let names () =
-  [ "antidiag"; "reverse"; "morton"; "hilbert"; "swizzle"; "cyclicdiag" ]
+  [
+    "antidiag";
+    "reverse";
+    "morton";
+    "hilbert";
+    "swizzle";
+    "swizzlex_m1_s0";
+    "cyclicdiag";
+  ]
+
+(* The masked-swizzle family encodes its parameters in the piece name
+   ([Piece.equal] compares [GenP]s by name and dims), so the registry
+   parses them back out: [swizzlex_m<mask>_s<shift>].  Parsed by hand —
+   [Scanf]'s [%d] would swallow the separating underscores as digit
+   separators. *)
+let parse_swizzlex name =
+  let tagged_int tag s =
+    if String.length s > 1 && s.[0] = tag then
+      int_of_string_opt (String.sub s 1 (String.length s - 1))
+    else None
+  in
+  match String.split_on_char '_' name with
+  | [ "swizzlex"; m; s ] -> (
+    match (tagged_int 'm' m, tagged_int 's' s) with
+    | Some mask, Some shift -> Some (mask, shift)
+    | _ -> None)
+  | _ -> None
 
 let lookup name dims ~args =
   ignore args;
+  match parse_swizzlex name with
+  | Some (mask, shift) -> (
+    match dims with
+    | [ rows; cols ] -> (
+      try Some (xor_swizzle_masked ~rows ~cols ~mask ~shift)
+      with Invalid_argument _ -> None)
+    | _ -> None)
+  | None -> (
   match (name, dims) with
   | "antidiag", [ n; m ] when n = m -> Some (antidiag n)
   | "reverse", dims -> Some (reverse dims)
@@ -277,4 +359,4 @@ let lookup name dims ~args =
   | "swizzle", [ rows; cols ] ->
     (try Some (xor_swizzle ~rows ~cols) with Invalid_argument _ -> None)
   | "cyclicdiag", [ n; m ] when n = m -> Some (cyclic_diag n)
-  | _ -> None
+  | _ -> None)

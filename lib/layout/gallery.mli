@@ -33,6 +33,16 @@ val xor_swizzle : rows:int -> cols:int -> Piece.t
     [(i, j)] at [i*cols + (j lxor (i mod cols))] — the classic
     shared-memory bank-conflict swizzle. *)
 
+val xor_swizzle_masked :
+  rows:int -> cols:int -> mask:int -> shift:int -> Piece.t
+(** [xor_swizzle_masked ~rows ~cols ~mask ~shift] (with [cols] a power of
+    two and [0 <= mask < cols]) stores logical [(i, j)] at
+    [i*cols + (j lxor (((i lsr shift)) land mask))] — the parameterized
+    swizzle family the autotuner searches over.  [mask = cols-1, shift =
+    0] recovers {!xor_swizzle}; [mask = 0] is plain row-major.  The piece
+    is named [swizzlex_m<mask>_s<shift>] so distinct parameters compare
+    unequal and the name round-trips through {!lookup}. *)
+
 val cyclic_diag : int -> Piece.t
 (** [cyclic_diag n] stores logical [(i, j)] at [((j - i) mod n) * n + i]:
     diagonal storage for an [n x n] matrix. *)

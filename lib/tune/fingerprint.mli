@@ -1,0 +1,10 @@
+(** Stable textual fingerprints of layouts.
+
+    The tuner's memo cache, deduplication, and every deterministic
+    tie-break are keyed by this fingerprint: a pure function of the
+    layout's structure (its printed dotted notation), independent of
+    physical equality, hashing seeds, or domain.  [GenP] parameters
+    appear because the gallery encodes them in piece names. *)
+
+val of_layout : Lego_layout.Group_by.t -> string
+val compare : string -> string -> int

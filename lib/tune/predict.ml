@@ -1,0 +1,92 @@
+module L = Lego_layout
+module G = Lego_gpusim
+
+type phase =
+  | Shared of { elem_bytes : int; lanes : int -> int list option }
+  | Global of { elem_bytes : int; addrs : int -> int option }
+
+type score = {
+  smem_phases : int;
+  smem_accesses : int;
+  smem_cycles : int;
+  gmem_txns : int;
+  ops : int;
+}
+
+let conflict_free s = s.smem_phases > 0 && s.smem_cycles = s.smem_phases
+
+(* Mirror of [Simt.cost_shared]: banks are [smem_bank_bytes] wide and
+   interleaved by byte address; the cost of a warp access is the largest
+   number of distinct bank words hitting one bank (same-word broadcast is
+   free). *)
+let bank_cycles (device : G.Device.t) ~elem_bytes addrs =
+  let banks = Hashtbl.create 8 in
+  List.iter
+    (fun addr ->
+      let word = addr * elem_bytes / device.smem_bank_bytes in
+      let bank = word mod device.smem_banks in
+      let set =
+        Option.value ~default:[] (Hashtbl.find_opt banks bank)
+      in
+      if not (List.mem word set) then Hashtbl.replace banks bank (word :: set))
+    addrs;
+  Hashtbl.fold (fun _ set acc -> max acc (List.length set)) banks 1
+
+(* Mirror of [Simt.cost_global]: one transaction per distinct
+   [global_txn_bytes] segment the warp touches. *)
+let txn_count (device : G.Device.t) ~elem_bytes addrs =
+  let segs = Hashtbl.create 8 in
+  List.iter
+    (fun addr -> Hashtbl.replace segs (addr * elem_bytes / device.global_txn_bytes) ())
+    addrs;
+  Hashtbl.length segs
+
+let score ?(device = G.Device.a100) ?weights (g : L.Group_by.t) phases =
+  let ops = Lego_symbolic.Cost.ops ?weights (Lego_symbolic.Sym.apply g) in
+  let lanes_of f =
+    List.filter_map f (List.init device.warp_size Fun.id)
+  in
+  List.fold_left
+    (fun acc phase ->
+      match phase with
+      | Shared { elem_bytes; lanes } ->
+        let addrs =
+          List.map (fun idx -> L.Group_by.apply_ints g idx) (lanes_of lanes)
+        in
+        if addrs = [] then acc
+        else
+          {
+            acc with
+            smem_phases = acc.smem_phases + 1;
+            smem_accesses = acc.smem_accesses + List.length addrs;
+            smem_cycles =
+              acc.smem_cycles + bank_cycles device ~elem_bytes addrs;
+          }
+      | Global { elem_bytes; addrs } ->
+        let addrs = lanes_of addrs in
+        if addrs = [] then acc
+        else
+          { acc with gmem_txns = acc.gmem_txns + txn_count device ~elem_bytes addrs })
+    { smem_phases = 0; smem_accesses = 0; smem_cycles = 0; gmem_txns = 0; ops }
+    phases
+
+(* Total order used for pruning and beam survival: fewest conflict cycles
+   first, then fewest global transactions, then cheapest index
+   arithmetic; the fingerprint breaks remaining ties so the order never
+   depends on traversal or scheduling. *)
+let compare_ranked (s1, fp1) (s2, fp2) =
+  let c = compare s1.smem_cycles s2.smem_cycles in
+  if c <> 0 then c
+  else
+    let c = compare s1.gmem_txns s2.gmem_txns in
+    if c <> 0 then c
+    else
+      let c = compare s1.ops s2.ops in
+      if c <> 0 then c else Fingerprint.compare fp1 fp2
+
+let pp ppf s =
+  Format.fprintf ppf
+    "smem %d cyc / %d phases (%s), gmem %d txns, %d ops"
+    s.smem_cycles s.smem_phases
+    (if conflict_free s then "conflict-free" else "conflicted")
+    s.gmem_txns s.ops

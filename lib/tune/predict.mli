@@ -1,0 +1,48 @@
+(** Static cost pre-filter: analytic bank-conflict / coalescing
+    prediction computed directly from a candidate layout, plus the
+    symbolic operation count of its index expression.  No simulation —
+    this is the cheap first stage that prunes the space before
+    {!Slot.t.simulate} runs the survivors.
+
+    Soundness of the pruning (DESIGN.md section 10): the bank and
+    transaction arithmetic here is the {e same} arithmetic
+    [Simt.cost_shared] / [Simt.cost_global] applies per warp round, so a
+    phase list that faithfully samples the kernel's warp access patterns
+    predicts the simulator's conflict degree exactly for those rounds;
+    the prediction can only diverge from stage two on access patterns the
+    phases do not sample. *)
+
+type phase =
+  | Shared of { elem_bytes : int; lanes : int -> int list option }
+      (** One warp-wide shared access: [lanes t] is the {e logical} index
+          lane [t] touches through the candidate layout ([None] =
+          inactive lane). *)
+  | Global of { elem_bytes : int; addrs : int -> int option }
+      (** One warp-wide global access: [addrs t] is lane [t]'s physical
+          element offset (already resolved — global patterns of the
+          current slots do not route through the candidate). *)
+
+type score = {
+  smem_phases : int;  (** Shared phases with at least one active lane. *)
+  smem_accesses : int;  (** Total active lanes across shared phases. *)
+  smem_cycles : int;  (** Summed bank-conflict degree (1 = no conflict). *)
+  gmem_txns : int;  (** Summed coalescing transaction count. *)
+  ops : int;  (** {!Lego_symbolic.Cost.ops} of the symbolic offset. *)
+}
+
+val conflict_free : score -> bool
+(** Every sampled shared phase ran at degree 1. *)
+
+val score :
+  ?device:Lego_gpusim.Device.t ->
+  ?weights:Lego_symbolic.Cost.weights ->
+  Lego_layout.Group_by.t ->
+  phase list ->
+  score
+
+val compare_ranked : score * string -> score * string -> int
+(** Lexicographic [(smem_cycles, gmem_txns, ops, fingerprint)] — a total
+    order (the fingerprint tie-break makes ranking independent of
+    traversal and scheduling order). *)
+
+val pp : Format.formatter -> score -> unit

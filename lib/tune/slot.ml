@@ -1,0 +1,214 @@
+module L = Lego_layout
+module G = Lego_gpusim
+module Sym = Lego_symbolic
+
+type sim = { time_s : float; s_accesses : float; s_cycles : float }
+
+type t = {
+  name : string;
+  descr : string;
+  rows : int;
+  cols : int;
+  phases : Predict.phase list;
+  simulate : L.Group_by.t -> sim;
+  baselines : (string * sim Lazy.t) list;
+  full_warps : bool;
+}
+
+let sim_of_reports reports =
+  let acc, cyc =
+    List.fold_left
+      (fun (a, c) (r : G.Simt.report) ->
+        ( a +. r.counters.G.Simt.s_accesses,
+          c +. r.counters.G.Simt.s_cycles ))
+      (0.0, 0.0) reports
+  in
+  { time_s = G.Metrics.sum_times_s reports; s_accesses = acc; s_cycles = cyc }
+
+(* Zero shared conflicts in a finished simulation: every warp-wide shared
+   round ran in one cycle.  Only meaningful when every shared round uses
+   a full warp (each round then contributes warp_size accesses and >= 1
+   cycle), which the slots below assert via [full_warps]. *)
+let sim_conflict_free ?(device = G.Device.a100) s =
+  s.s_accesses > 0.0
+  && s.s_cycles = s.s_accesses /. float_of_int device.G.Device.warp_size
+
+(* Per-access address-computation charge fed to [Simt.alu].  The raw
+   symbolic op count wildly overstates bitwise GenP bijections: the
+   expression language has no XOR, so [Gallery.xor_word] expands each bit
+   through add/mul/div arithmetic (~150 ops for a 5-bit swizzle), while
+   the CUDA/Triton code the paper generates lowers the same swizzle to a
+   couple of LOP3/SHF instructions.  Capping the modeled cost keeps the
+   roofline honest — cheap strided layouts still win the tie at 2-8 ops,
+   but no layout is charged more address arithmetic than a short
+   hardware instruction sequence. *)
+let addr_ops_cap = 16
+let addr_ops g = min addr_ops_cap (Sym.Cost.ops (Sym.Sym.apply g))
+
+let row_major ~rows ~cols =
+  L.Group_by.make
+    ~chain:
+      [
+        L.Order_by.make
+          [ L.Piece.reg ~dims:[ rows; cols ] ~sigma:(L.Sigma.identity 2) ];
+      ]
+    [ [ rows; cols ] ]
+
+(* FP16 matmul staging tile (the paper's figure 13 shared-memory GEMM
+   operand): a 128 x 32 half-precision tile is staged row-wise by 8 warps
+   and then consumed column-wise, 4 columns per warp in 4 row-parts.
+   Row-major storage makes the column reads 16-way bank conflicted (two
+   F16 elements share each 4-byte bank word); the paper's hand-written
+   fix is the XOR swizzle the tuner should rediscover. *)
+let matmul_smem ?(device = G.Device.a100) () =
+  let rows = 128 and cols = 32 in
+  let simulate g =
+    let saddr i j = L.Group_by.apply_ints g [ i; j ] in
+    let aops = addr_ops g in
+    let kern (ctx : G.Simt.ctx) =
+      (* Stage: warp [ty] stores rows ty, ty+8, ... — lane tx = column. *)
+      for l = 0 to (rows / 8) - 1 do
+        let r = ctx.ty + (8 * l) in
+        G.Simt.alu aops;
+        G.Simt.sstore (saddr r ctx.tx) 1.0
+      done;
+      G.Simt.sync ();
+      (* Consume: warp [ty] reads columns 4ty .. 4ty+3, lane tx = row
+         within each 32-row part. *)
+      for c = 4 * ctx.ty to (4 * ctx.ty) + 3 do
+        for p = 0 to (rows / 32) - 1 do
+          G.Simt.alu aops;
+          ignore (G.Simt.sload (saddr ((p * 32) + ctx.tx) c))
+        done
+      done
+    in
+    let r =
+      G.Simt.run ~device ~smem_dtype:G.Mem.F16 ~grid:(4, 1) ~block:(32, 8)
+        ~smem_words:(rows * cols) kern
+    in
+    sim_of_reports [ r ]
+  in
+  let phases =
+    List.init 32 (fun r ->
+        Predict.Shared { elem_bytes = 2; lanes = (fun t -> Some [ r; t ]) })
+    @ List.init cols (fun c ->
+          Predict.Shared { elem_bytes = 2; lanes = (fun t -> Some [ t; c ]) })
+  in
+  {
+    name = "matmul";
+    descr = "128x32 FP16 matmul staging tile (shared memory)";
+    rows;
+    cols;
+    phases;
+    simulate;
+    baselines = [ ("row-major", lazy (simulate (row_major ~rows ~cols))) ];
+    full_warps = true;
+  }
+
+(* 32x32 FP32 transpose tile (figure 13): simulated end-to-end through
+   {!Lego_apps.Transpose.run_shared} with the candidate as the shared
+   tile layout.  The "naive" baseline is the no-shared-memory kernel with
+   uncoalesced global writes — the gap the paper's shared variant
+   closes. *)
+let transpose_smem ?(device = G.Device.a100) () =
+  let rows = 32 and cols = 32 in
+  let cfg = Lego_apps.Transpose.default_config ~tile:32 1024 in
+  let simulate g =
+    let r =
+      Lego_apps.Transpose.run_shared ~device ~smem_layout:(Layout g) cfg
+    in
+    sim_of_reports r.reports
+  in
+  let phases =
+    List.init rows (fun ti ->
+        Predict.Shared { elem_bytes = 4; lanes = (fun t -> Some [ ti; t ]) })
+    @ List.init cols (fun tj ->
+          Predict.Shared { elem_bytes = 4; lanes = (fun t -> Some [ t; tj ]) })
+  in
+  {
+    name = "transpose";
+    descr = "32x32 FP32 transpose tile (shared memory)";
+    rows;
+    cols;
+    phases;
+    simulate;
+    baselines =
+      [
+        ( "naive",
+          lazy
+            (let r = Lego_apps.Transpose.run_naive ~device cfg in
+             sim_of_reports r.reports) );
+        ( "row-major-smem",
+          lazy
+            (let r =
+               Lego_apps.Transpose.run_shared ~device ~smem_layout:Unpadded cfg
+             in
+             sim_of_reports r.reports) );
+      ];
+    full_warps = true;
+  }
+
+(* Needleman-Wunsch 17x17 score buffer (figure 14): wavefront updates
+   walk anti-diagonals, so row-major storage serializes on banks; the
+   paper's fix is the anti-diagonal layout of figure 8.  17 is prime and
+   not a power of two, so the space here is just the sigma and gallery
+   roots — always exhaustive. *)
+let nw_smem ?(device = G.Device.a100) () =
+  let b = 16 in
+  let rows = b + 1 and cols = b + 1 in
+  let cfg = Lego_apps.Nw.default_config ~b 512 in
+  let simulate g =
+    let sbuff i j = L.Group_by.apply_ints g [ i; j ] in
+    let r = Lego_apps.Nw.run_custom ~device ~sbuff ~addr_cost:(addr_ops g) cfg in
+    sim_of_reports r.reports
+  in
+  (* Wavefront step [s]: active lane [t] updates cell (t+1, s-t+1) from
+     its west, north and north-west neighbours.  Sample a mid and a full
+     diagonal. *)
+  let wavefront s (di, dj) =
+    Predict.Shared
+      {
+        elem_bytes = 4;
+        lanes =
+          (fun t ->
+            let i = t + 1 and j = s - t + 1 in
+            if t < b && j >= 1 && j <= b then Some [ i + di; j + dj ] else None);
+      }
+  in
+  let phases =
+    List.concat_map
+      (fun s ->
+        [
+          wavefront s (-1, -1);
+          wavefront s (-1, 0);
+          wavefront s (0, -1);
+          wavefront s (0, 0);
+        ])
+      [ b / 2; b - 1 ]
+  in
+  {
+    name = "nw";
+    descr = "17x17 FP32 Needleman-Wunsch score buffer (shared memory)";
+    rows;
+    cols;
+    phases;
+    simulate;
+    baselines =
+      [
+        ( "row-major",
+          lazy
+            (let r = Lego_apps.Nw.run ~device Lego_apps.Nw.RowMajor cfg in
+             sim_of_reports r.reports) );
+        ( "antidiag",
+          lazy
+            (let r = Lego_apps.Nw.run ~device Lego_apps.Nw.AntiDiagonal cfg in
+             sim_of_reports r.reports) );
+      ];
+    full_warps = false;
+  }
+
+let all ?device () =
+  [ matmul_smem ?device (); transpose_smem ?device (); nw_smem ?device () ]
+
+let find ?device name =
+  List.find_opt (fun s -> s.name = name) (all ?device ())

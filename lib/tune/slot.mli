@@ -1,0 +1,55 @@
+(** Kernel slots: the tuner's view of one shared-memory layout decision
+    inside one kernel.
+
+    A slot bundles everything the two search stages need: the logical
+    shape of the space being laid out (for {!Space}), a list of
+    representative warp access phases (for the {!Predict} pre-filter),
+    and a full {!Lego_gpusim.Simt} simulation returning the roofline
+    time (the stage-two ground truth).  The three slots below are the
+    paper's three hand-tuned layout decisions (figures 13-14). *)
+
+type sim = {
+  time_s : float;  (** {!Lego_gpusim.Metrics.sum_times_s} of the run. *)
+  s_accesses : float;  (** Summed shared-access lanes. *)
+  s_cycles : float;  (** Summed shared bank cycles. *)
+}
+
+type t = {
+  name : string;
+  descr : string;
+  rows : int;
+  cols : int;  (** Logical shape of the layout under search. *)
+  phases : Predict.phase list;
+      (** Representative warp phases for the static pre-filter. *)
+  simulate : Lego_layout.Group_by.t -> sim;
+      (** Full simulation of the kernel with the candidate layout. *)
+  baselines : (string * sim Lazy.t) list;
+      (** Named reference layouts (forced at most once). *)
+  full_warps : bool;
+      (** Every shared round uses a full warp — makes
+          {!sim_conflict_free} meaningful. *)
+}
+
+val sim_conflict_free : ?device:Lego_gpusim.Device.t -> sim -> bool
+(** The simulation ran every warp-wide shared round at bank degree 1
+    (only meaningful under [full_warps]). *)
+
+val row_major : rows:int -> cols:int -> Lego_layout.Group_by.t
+(** The identity layout of the slot's shape — the universal baseline. *)
+
+val matmul_smem : ?device:Lego_gpusim.Device.t -> unit -> t
+(** 128 x 32 FP16 matmul staging tile: stored row-wise, consumed
+    column-wise; row-major storage is 16-way conflicted, the XOR swizzle
+    is the known fix. *)
+
+val transpose_smem : ?device:Lego_gpusim.Device.t -> unit -> t
+(** 32 x 32 FP32 transpose tile via {!Lego_apps.Transpose.run_shared};
+    baselines include the naive no-shared-memory kernel. *)
+
+val nw_smem : ?device:Lego_gpusim.Device.t -> unit -> t
+(** 17 x 17 FP32 Needleman-Wunsch score buffer via
+    {!Lego_apps.Nw.run_custom}; the anti-diagonal gallery layout is the
+    paper's fix. *)
+
+val all : ?device:Lego_gpusim.Device.t -> unit -> t list
+val find : ?device:Lego_gpusim.Device.t -> string -> t option

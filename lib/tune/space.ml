@@ -1,0 +1,171 @@
+module L = Lego_layout
+
+type t = { rows : int; cols : int; seed : int }
+
+let make ?(seed = 0) ~rows ~cols () =
+  if rows <= 0 || cols <= 0 then
+    invalid_arg "Space.make: extents must be positive";
+  { rows; cols; seed }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* A candidate is always the plain 2-D logical view over some reordering
+   chain, so every consumer can address it as [apply_ints g [i; j]]. *)
+let view2 sp chain = L.Group_by.make ~chain [ [ sp.rows; sp.cols ] ]
+
+let of_piece sp p = view2 sp [ L.Order_by.make [ p ] ]
+
+(* Seeded in-family shuffling.  Seed 0 is the canonical order (cheap,
+   conflict-free-first families lead); any other seed permutes each
+   family with a stream derived only from [(seed, tag)], so the space is
+   a pure function of the seed — never of timing or of traversal
+   interleaving. *)
+let shuffle sp ~tag xs =
+  if sp.seed = 0 then xs
+  else begin
+    let st = Random.State.make [| sp.seed; Hashtbl.hash tag |] in
+    let arr = Array.of_list xs in
+    for i = Array.length arr - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- t
+    done;
+    Array.to_list arr
+  end
+
+let has_gen g =
+  List.exists
+    (fun o ->
+      List.exists
+        (function L.Piece.Gen _ -> true | L.Piece.Reg _ -> false)
+        (L.Order_by.pieces o))
+    (L.Group_by.chain g)
+
+(* Sigma roots: one RegP over the full 2-D space per permutation. *)
+let sigma_roots sp =
+  List.map
+    (fun sigma ->
+      of_piece sp (L.Piece.reg ~dims:[ sp.rows; sp.cols ] ~sigma))
+    (L.Sigma.all 2)
+
+(* Gallery roots: the paper's named bijections, where the shape admits
+   them. *)
+let gallery_roots sp =
+  let square = sp.rows = sp.cols in
+  let pow2 = square && is_pow2 sp.rows && sp.rows > 1 in
+  List.concat
+    [
+      (if square then [ of_piece sp (L.Gallery.antidiag sp.rows) ] else []);
+      (if square then [ of_piece sp (L.Gallery.cyclic_diag sp.rows) ] else []);
+      [ of_piece sp (L.Gallery.reverse [ sp.rows; sp.cols ]) ];
+      (if pow2 then
+         let bits = ref 0 and m = ref sp.rows in
+         while !m > 1 do
+           incr bits;
+           m := !m / 2
+         done;
+         [
+           of_piece sp (L.Gallery.morton ~d:2 ~bits:!bits);
+           of_piece sp (L.Gallery.hilbert ~bits:!bits);
+         ]
+       else []);
+    ]
+
+let roots sp =
+  shuffle sp ~tag:"roots" (sigma_roots sp) @
+  shuffle sp ~tag:"gallery" (gallery_roots sp)
+
+(* Non-trivial factorizations [outer * inner = n, both > 1]. *)
+let divisor_pairs n =
+  let rec go d acc =
+    if d > n / 2 then List.rev acc
+    else go (d + 1) (if n mod d = 0 then (d, n / d) :: acc else acc)
+  in
+  go 2 []
+
+(* Two-level tilings of the space: [TileOrderBy(P_outer, P_inner)] over
+   every non-trivial divisor split of each extent and every sigma pair. *)
+let tilings sp =
+  let rows_splits = divisor_pairs sp.rows and cols_splits = divisor_pairs sp.cols in
+  let sigmas = L.Sigma.all 2 in
+  List.concat_map
+    (fun (ro, ri) ->
+      List.concat_map
+        (fun (co, ci) ->
+          List.concat_map
+            (fun so ->
+              List.map
+                (fun si ->
+                  view2 sp
+                    (L.Sugar.tile_order_by
+                       [
+                         L.Piece.reg ~dims:[ ro; co ] ~sigma:so;
+                         L.Piece.reg ~dims:[ ri; ci ] ~sigma:si;
+                       ]))
+                sigmas)
+            sigmas)
+        cols_splits)
+    rows_splits
+
+(* XOR-swizzle refinements: prepend a [swizzlex] GenP as the outermost
+   reordering of a swizzle-free candidate.  Prefix masks only, widest
+   (the classic full-column swizzle) first, so a tiny budget meets the
+   known-good layout early. *)
+let swizzles sp g =
+  if (not (is_pow2 sp.cols)) || sp.cols = 1 || has_gen g then []
+  else begin
+    let masks =
+      let rec go m acc = if m < 1 then List.rev acc else go (m / 2) (m :: acc) in
+      go (sp.cols - 1) []
+    in
+    List.concat_map
+      (fun mask ->
+        List.map
+          (fun shift ->
+            L.Group_by.prepend
+              (L.Order_by.make
+                 [
+                   L.Gallery.xor_swizzle_masked ~rows:sp.rows ~cols:sp.cols
+                     ~mask ~shift;
+                 ])
+              g)
+          [ 0; 1; 2 ])
+      masks
+  end
+
+(* Is [g] a bare sigma root (single chain entry, single RegP covering the
+   whole space)?  Only those refine into tilings; every swizzle-free
+   candidate refines into swizzles. *)
+let is_sigma_root g =
+  match L.Group_by.chain g with
+  | [ o ] -> (
+    match L.Order_by.pieces o with
+    | [ L.Piece.Reg { dims; _ } ] -> List.length dims = 2
+    | _ -> false)
+  | _ -> false
+
+let children sp g =
+  let sw = shuffle sp ~tag:"swizzles" (swizzles sp g) in
+  let tl = if is_sigma_root g then shuffle sp ~tag:"tilings" (tilings sp) else [] in
+  sw @ tl
+
+let closure sp =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let push g =
+    let fp = Fingerprint.of_layout g in
+    if Hashtbl.mem seen fp then false
+    else begin
+      Hashtbl.add seen fp ();
+      acc := g :: !acc;
+      true
+    end
+  in
+  let rec levels frontier =
+    match List.filter push frontier with
+    | [] -> ()
+    | fresh -> levels (List.concat_map (children sp) fresh)
+  in
+  levels (roots sp);
+  List.rev !acc

@@ -1,0 +1,44 @@
+(** The tuner's candidate space for a 2-D logical shape.
+
+    Every candidate is a {!Lego_layout.Group_by.t} whose logical view is
+    the plain [[rows; cols]] group, so a kernel slot can address any of
+    them uniformly with [apply_ints g [i; j]].  The space is generated
+    as a shallow refinement dag:
+
+    - {b roots}: one [RegP] per sigma permutation of the two dimensions
+      (row-major, column-major), plus the applicable gallery bijections
+      (anti-diagonal, cyclic-diagonal, reverse, Morton, Hilbert);
+    - {b tilings} (children of sigma roots): [TileOrderBy(P1, P2)] over
+      every non-trivial divisor split of each extent and every sigma
+      pair;
+    - {b swizzles} (children of any swizzle-free candidate, when [cols]
+      is a power of two): a prepended [swizzlex_m<mask>_s<shift>] GenP
+      with prefix masks (widest first) and shifts 0..2.
+
+    Determinism contract: the generated sequence is a pure function of
+    [(rows, cols, seed)].  Seed 0 is the canonical order; a non-zero
+    seed shuffles within each family with a [Random.State] derived only
+    from [(seed, family tag)]. *)
+
+type t
+
+val make : ?seed:int -> rows:int -> cols:int -> unit -> t
+(** Raises [Invalid_argument] on non-positive extents. *)
+
+val roots : t -> Lego_layout.Group_by.t list
+(** Generation 0: sigma roots then gallery roots. *)
+
+val children : t -> Lego_layout.Group_by.t -> Lego_layout.Group_by.t list
+(** Refinements of one candidate: its swizzle variants (swizzle-free
+    candidates only) followed, for sigma roots, by the two-level tilings.
+    May emit candidates already generated elsewhere — callers
+    de-duplicate by {!Fingerprint.of_layout}. *)
+
+val closure : t -> Lego_layout.Group_by.t list
+(** Every reachable candidate, breadth-first from {!roots}, de-duplicated
+    by fingerprint — the space the exhaustive strategy enumerates, and
+    the denominator of the tuner's coverage report. *)
+
+val has_gen : Lego_layout.Group_by.t -> bool
+(** Whether any piece of the chain is a [GenP] (used to keep swizzles
+    from stacking on named bijections). *)

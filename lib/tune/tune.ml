@@ -1,0 +1,221 @@
+module L = Lego_layout
+module Exec = Lego_exec.Exec
+
+type options = {
+  budget : int;
+  top : int;
+  beam : int;
+  seed : int;
+  jobs : int;
+  conform : bool;
+  conform_points : int;
+}
+
+let default_options =
+  {
+    budget = 256;
+    top = 8;
+    beam = 16;
+    seed = 0;
+    jobs = 1;
+    conform = true;
+    conform_points = 2048;
+  }
+
+type scored = {
+  layout : L.Group_by.t;
+  fingerprint : string;
+  static_score : Predict.score;
+  sim : Slot.sim option;
+}
+
+type result = {
+  slot : Slot.t;
+  winner : scored;
+  ranking : scored list;
+  explored : int;
+  space_size : int;
+  exhaustive : bool;
+  static_seconds : float;
+  sim_seconds : float;
+  candidates_per_s : float;
+  conform : Lego_conform.Conform.outcome option;
+  baselines : (string * Slot.sim) list;
+}
+
+let rec take_prefix n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: xs -> x :: take_prefix (n - 1) xs
+
+(* The search is deterministic at any [jobs] by construction:
+
+   - candidate generation is a pure function of [(shape, seed)]
+     ({!Space}'s contract);
+   - every parallel step is an {!Exec.map}, whose submission-order merge
+     returns exactly the sequential result;
+   - every {e decision} (dedup, budget truncation, beam survival, final
+     ranking) happens sequentially in this driver, over totally ordered
+     keys ({!Predict.compare_ranked}, and [(time_s, fingerprint)] for
+     stage two);
+   - the fingerprint-keyed memo table is only read and written between
+     parallel sections.
+
+   Only the [*_seconds] / [candidates_per_s] timings may vary. *)
+let search ?(options = default_options) (slot : Slot.t) =
+  if options.budget < 1 then invalid_arg "Tune.search: budget must be >= 1";
+  if options.top < 1 then invalid_arg "Tune.search: top must be >= 1";
+  if options.beam < 1 then invalid_arg "Tune.search: beam must be >= 1";
+  let sp = Space.make ~seed:options.seed ~rows:slot.rows ~cols:slot.cols () in
+  let space_size = List.length (Space.closure sp) in
+  Exec.with_pool ~jobs:(max 1 options.jobs) @@ fun pool ->
+  let t0 = Unix.gettimeofday () in
+  (* Stage one: beam-limited breadth-first exploration under the budget,
+     scored by the static predictor.  [seen] doubles as the memo-cache
+     key set: a fingerprint is scored at most once. *)
+  let seen = Hashtbl.create 128 in
+  let explored = ref [] and used = ref 0 in
+  let fresh gs =
+    List.filter_map
+      (fun g ->
+        let fp = Fingerprint.of_layout g in
+        if Hashtbl.mem seen fp then None
+        else begin
+          Hashtbl.add seen fp ();
+          Some (fp, g)
+        end)
+      gs
+  in
+  let score_level cands =
+    let arr = Array.of_list cands in
+    let scores = Exec.map ~pool arr (fun (_, g) -> Predict.score g slot.phases) in
+    let level =
+      List.mapi
+        (fun i (fp, g) ->
+          { layout = g; fingerprint = fp; static_score = scores.(i); sim = None })
+        cands
+    in
+    explored := List.rev_append level !explored;
+    used := !used + List.length level;
+    level
+  in
+  let rec explore frontier =
+    if frontier <> [] && !used < options.budget then begin
+      let cands = take_prefix (options.budget - !used) (fresh frontier) in
+      if cands <> [] then begin
+        let level = score_level cands in
+        let survivors =
+          take_prefix options.beam
+            (List.sort
+               (fun a b ->
+                 Predict.compare_ranked
+                   (a.static_score, a.fingerprint)
+                   (b.static_score, b.fingerprint))
+               level)
+        in
+        explore (List.concat_map (fun s -> Space.children sp s.layout) survivors)
+      end
+    end
+  in
+  explore (Space.roots sp);
+  let all = List.rev !explored in
+  let static_seconds = Unix.gettimeofday () -. t0 in
+  (* Stage two: full simulation of the statically best [top] survivors,
+     ranked by roofline time. *)
+  let t1 = Unix.gettimeofday () in
+  let finalists =
+    take_prefix options.top
+      (List.sort
+         (fun a b ->
+           Predict.compare_ranked
+             (a.static_score, a.fingerprint)
+             (b.static_score, b.fingerprint))
+         all)
+  in
+  let arr = Array.of_list finalists in
+  let sims = Exec.map ~pool arr (fun sc -> slot.simulate sc.layout) in
+  (* Roofline time first; among roofline ties (the time model saturates
+     on whichever resource bounds the kernel) prefer fewer simulated bank
+     cycles, then the static order — ending, as always, at the
+     fingerprint, so the ranking is total. *)
+  let ranking =
+    List.sort
+      (fun a b ->
+        let sa = Option.get a.sim and sb = Option.get b.sim in
+        let c = compare sa.Slot.time_s sb.Slot.time_s in
+        if c <> 0 then c
+        else
+          let c = compare sa.Slot.s_cycles sb.Slot.s_cycles in
+          if c <> 0 then c
+          else
+            Predict.compare_ranked
+              (a.static_score, a.fingerprint)
+              (b.static_score, b.fingerprint))
+      (List.mapi (fun i sc -> { sc with sim = Some sims.(i) }) finalists)
+  in
+  let sim_seconds = Unix.gettimeofday () -. t1 in
+  let winner =
+    match ranking with
+    | w :: _ -> w
+    | [] -> invalid_arg "Tune.search: empty candidate space"
+  in
+  let conform =
+    if options.conform then
+      Some
+        (Lego_conform.Conform.check_layout ~max_points:options.conform_points
+           winner.layout)
+    else None
+  in
+  let baselines = List.map (fun (n, s) -> (n, Lazy.force s)) slot.baselines in
+  let explored = List.length all in
+  let wall = static_seconds +. sim_seconds in
+  {
+    slot;
+    winner;
+    ranking;
+    explored;
+    space_size;
+    exhaustive = explored = space_size;
+    static_seconds;
+    sim_seconds;
+    candidates_per_s = (if wall > 0.0 then float_of_int explored /. wall else 0.0);
+    conform;
+    baselines;
+  }
+
+let conform_ok r =
+  match r.conform with
+  | None -> None
+  | Some o -> Some (o.Lego_conform.Conform.mismatch = None)
+
+let pp_scored ppf sc =
+  Format.fprintf ppf "@[<v 2>%s@,static: %a" sc.fingerprint Predict.pp
+    sc.static_score;
+  (match sc.sim with
+  | Some s ->
+    Format.fprintf ppf "@,simulated: %.3f us (smem %.0f cycles / %.0f accesses)"
+      (s.Slot.time_s *. 1e6) s.Slot.s_cycles s.Slot.s_accesses
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>slot %s: %s@," r.slot.Slot.name r.slot.Slot.descr;
+  Format.fprintf ppf
+    "explored %d of %d candidates (%s), simulated %d, %.0f cand/s@," r.explored
+    r.space_size
+    (if r.exhaustive then "exhaustive" else "beam")
+    (List.length r.ranking) r.candidates_per_s;
+  List.iter
+    (fun (n, s) ->
+      Format.fprintf ppf "baseline %-14s %.3f us@," n (s.Slot.time_s *. 1e6))
+    r.baselines;
+  Format.fprintf ppf "winner: %a@," pp_scored r.winner;
+  (match r.conform with
+  | Some { mismatch = None; points; c_checked; _ } ->
+    Format.fprintf ppf "conformance: ok (%d points%s)@," points
+      (if c_checked then "" else ", C path skipped")
+  | Some { mismatch = Some m; _ } ->
+    Format.fprintf ppf "conformance: MISMATCH at %s: %s@,"
+      m.Lego_conform.Conform.stage m.Lego_conform.Conform.detail
+  | None -> ());
+  Format.fprintf ppf "@]"

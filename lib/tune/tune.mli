@@ -1,0 +1,61 @@
+(** The layout autotuner: closes the loop between the layout algebra and
+    the simulator's cost model (DESIGN.md section 10).
+
+    Two-stage search over a {!Space} of candidates for one {!Slot}:
+
+    + every enumerated candidate is scored by the cheap static
+      {!Predict} pre-filter (symbolic op count + analytic bank-conflict /
+      coalescing prediction) — beam-limited breadth-first under a
+      candidate budget, exhaustive when the budget covers the space;
+    + the statically best [top] survivors run the slot's full
+      {!Lego_gpusim.Simt} simulation and are ranked by roofline time;
+    + the winner is cross-checked through the {!Lego_conform.Conform}
+      four-semantics differential harness before being reported.
+
+    Results are bit-identical at any [jobs]: parallelism only ever runs
+    inside {!Lego_exec.Exec.map} (submission-order merge), all search
+    decisions are sequential over totally ordered keys, and the memo
+    cache is touched only between parallel sections. *)
+
+type options = {
+  budget : int;  (** Max candidates scored by stage one (default 256). *)
+  top : int;  (** Survivors simulated by stage two (default 8). *)
+  beam : int;  (** Beam width for refinement (default 16). *)
+  seed : int;  (** Space-enumeration seed; 0 = canonical order. *)
+  jobs : int;  (** {!Lego_exec.Exec} pool size (default 1). *)
+  conform : bool;  (** Four-semantics check of the winner (default on). *)
+  conform_points : int;  (** Points for that check (default 2048). *)
+}
+
+val default_options : options
+
+type scored = {
+  layout : Lego_layout.Group_by.t;
+  fingerprint : string;
+  static_score : Predict.score;
+  sim : Slot.sim option;  (** Present for stage-two survivors. *)
+}
+
+type result = {
+  slot : Slot.t;
+  winner : scored;  (** Best simulated time (fingerprint tie-break). *)
+  ranking : scored list;  (** All simulated survivors, best first. *)
+  explored : int;  (** Candidates statically scored. *)
+  space_size : int;  (** Size of the full candidate closure. *)
+  exhaustive : bool;  (** [explored = space_size]. *)
+  static_seconds : float;
+  sim_seconds : float;
+  candidates_per_s : float;  (** [explored / (static + sim)] wall time. *)
+  conform : Lego_conform.Conform.outcome option;
+  baselines : (string * Slot.sim) list;  (** The slot's references. *)
+}
+
+val search : ?options:options -> Slot.t -> result
+(** Raises [Invalid_argument] when [budget], [top] or [beam] is < 1. *)
+
+val conform_ok : result -> bool option
+(** [Some true] = checked clean, [Some false] = mismatch found, [None] =
+    check disabled. *)
+
+val pp_scored : Format.formatter -> scored -> unit
+val pp_result : Format.formatter -> result -> unit

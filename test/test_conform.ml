@@ -110,6 +110,58 @@ let test_generator_deterministic_and_valid () =
   in
   Alcotest.(check bool) "seeds matter" true differs
 
+(* --- Masked XOR swizzles: generation and shrinking ----------------------- *)
+
+let contains_swizzle g =
+  let s = Format.asprintf "%a" L.Group_by.pp g in
+  let sub = "swizzlex_m" in
+  let n = String.length sub in
+  let rec has i =
+    i + n <= String.length s && (String.sub s i n = sub || has (i + 1))
+  in
+  has 0
+
+let test_generator_emits_masked_swizzles () =
+  (* The random stream must actually exercise the masked-swizzle family,
+     and every generated layout containing one must conform. *)
+  let hits = ref [] in
+  for index = 0 to 299 do
+    let g = Lgen.layout_of_seed ~seed:11 ~index in
+    if contains_swizzle g then hits := g :: !hits
+  done;
+  Alcotest.(check bool) "stream contains masked swizzles" true (!hits <> []);
+  List.iter
+    (fun g ->
+      match (Conform.check_layout ~max_points:256 g).Conform.mismatch with
+      | None -> ()
+      | Some m ->
+        Alcotest.failf "swizzled layout: [%s] %s" m.Conform.stage
+          m.Conform.detail)
+    !hits
+
+let test_shrink_preserves_swizzle_piece () =
+  (* Shrinking a failure whose trigger is the swizzle piece must keep the
+     piece while stripping the unrelated OrderBy level and grouping. *)
+  let g =
+    L.Group_by.make
+      ~chain:
+        [
+          L.Order_by.make
+            [ L.Gallery.xor_swizzle_masked ~rows:8 ~cols:8 ~mask:5 ~shift:1 ];
+          L.Order_by.make
+            [
+              L.Piece.reg ~dims:[ 4; 16 ] ~sigma:(L.Sigma.of_one_based [ 2; 1 ]);
+            ];
+        ]
+      [ [ 8; 8 ] ]
+  in
+  let shrunk = Shrink.minimize contains_swizzle g in
+  Alcotest.(check bool) "swizzle survives" true (contains_swizzle shrunk);
+  Alcotest.(check int) "unrelated OrderBy dropped" 1
+    (List.length (L.Group_by.chain shrunk));
+  Alcotest.(check bool) "grouping flattened" true
+    (L.Group_by.shapes shrunk = [ [ 64 ] ])
+
 (* --- Cross-check: gallery corpus and random layouts --------------------- *)
 
 let test_gallery_conforms () =
@@ -337,6 +389,10 @@ let suite =
         test_cexpr_matches_printer;
       Alcotest.test_case "generator: deterministic, valid, bounded" `Quick
         test_generator_deterministic_and_valid;
+      Alcotest.test_case "generator emits masked swizzles" `Quick
+        test_generator_emits_masked_swizzles;
+      Alcotest.test_case "shrink preserves the swizzle piece" `Quick
+        test_shrink_preserves_swizzle_piece;
       Alcotest.test_case "gallery corpus conforms" `Quick test_gallery_conforms;
       Alcotest.test_case "random layouts conform" `Quick
         test_random_layouts_conform;

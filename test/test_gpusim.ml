@@ -208,6 +208,110 @@ let test_occupancy_penalty () =
   Alcotest.(check bool) "full grid amortizes better" true
     (t_large_per_block < t_small)
 
+(* --- Metrics.breakdown edge cases ---------------------------------------- *)
+
+let zero_counters () : Simt.counters =
+  {
+    insn_warp = 0.0;
+    g_txns = 0.0;
+    g_bytes = 0.0;
+    s_accesses = 0.0;
+    s_cycles = 0.0;
+    flops_fp32 = 0.0;
+    flops_fp16 = 0.0;
+    flops_fp8 = 0.0;
+    flops_tensor_fp16 = 0.0;
+    flops_tensor_fp8 = 0.0;
+    syncs = 0.0;
+  }
+
+let mk_report ?(device = Device.a100) ?(grid = (1, 1)) ?(block = (32, 1))
+    counters : Simt.report =
+  {
+    Simt.device;
+    grid;
+    block;
+    blocks_simulated = fst grid * snd grid;
+    launches = 1;
+    counters;
+  }
+
+let test_breakdown_zero_counters () =
+  (* A report with no recorded work costs exactly the launch latency:
+     every roofline term is 0 and total = launch, with no division
+     blow-ups from the zero counters. *)
+  let b = Metrics.breakdown (mk_report (zero_counters ())) in
+  Alcotest.(check (float 0.0)) "compute" 0.0 b.Metrics.compute_s;
+  Alcotest.(check (float 0.0)) "dram" 0.0 b.Metrics.dram_s;
+  Alcotest.(check (float 0.0)) "smem" 0.0 b.Metrics.smem_s;
+  Alcotest.(check (float 0.0)) "issue" 0.0 b.Metrics.issue_s;
+  Alcotest.(check (float 0.0)) "launch"
+    (Device.a100.Device.kernel_launch_us *. 1e-6)
+    b.Metrics.launch_s;
+  Alcotest.(check (float 0.0)) "total = launch" b.Metrics.launch_s
+    b.Metrics.total_s
+
+let test_breakdown_launch_dominated () =
+  (* A single tiny block: the 3 us launch latency dwarfs the body. *)
+  let r = run1 (fun _ -> Simt.alu 1) in
+  let b = Metrics.breakdown r in
+  let body = b.Metrics.total_s -. b.Metrics.launch_s in
+  Alcotest.(check bool) "body is positive" true (body > 0.0);
+  Alcotest.(check bool) "launch dominates" true
+    (b.Metrics.launch_s /. b.Metrics.total_s > 0.9);
+  Alcotest.(check (float 0.0)) "total = launch + body"
+    (b.Metrics.launch_s
+    +. Float.max
+         (Float.max b.Metrics.compute_s b.Metrics.dram_s)
+         (Float.max b.Metrics.smem_s b.Metrics.issue_s))
+    b.Metrics.total_s
+
+let test_sum_times_empty () =
+  Alcotest.(check (float 0.0)) "sum of no reports" 0.0 (Metrics.sum_times_s [])
+
+let test_breakdown_exact_values () =
+  (* Mirror the model arithmetic (same operations, same order as
+     metrics.ml) on hand-picked counters and check bit-exact equality. *)
+  let c = zero_counters () in
+  c.Simt.s_cycles <- 64.0;
+  c.Simt.insn_warp <- 128.0;
+  c.Simt.g_bytes <- 1024.0;
+  c.Simt.flops_fp32 <- 1e6;
+  let b = Metrics.breakdown (mk_report ~grid:(2, 1) ~block:(32, 4) c) in
+  let d = Device.a100 in
+  (* grid (2,1), block (32,4).  Note the model's warps-per-block is the
+     float quotient (threads + 31) / 32 = 4.96875, not its ceiling. *)
+  let warps_per_block =
+    float_of_int ((32 * 4) + d.Device.warp_size - 1)
+    /. float_of_int d.Device.warp_size
+  in
+  let block_fill = Float.min 1.0 (warps_per_block /. 8.0) in
+  let util =
+    Float.min 1.0 (2.0 /. float_of_int d.Device.num_sms) *. block_fill
+  in
+  let clock_hz = d.Device.clock_ghz *. 1e9 in
+  let sms = float_of_int d.Device.num_sms in
+  Alcotest.(check (float 0.0)) "compute"
+    (1e6 /. (d.Device.fp32_tflops *. 1e12) /. util)
+    b.Metrics.compute_s;
+  Alcotest.(check (float 0.0)) "dram"
+    (1024.0 /. (d.Device.dram_bw_gbps *. 1e9) /. util)
+    b.Metrics.dram_s;
+  Alcotest.(check (float 0.0)) "smem"
+    (64.0 /. (clock_hz *. sms *. util))
+    b.Metrics.smem_s;
+  Alcotest.(check (float 0.0)) "issue"
+    (128.0
+    /. (clock_hz *. sms *. util
+       *. float_of_int d.Device.issue_per_sm_per_cycle))
+    b.Metrics.issue_s;
+  Alcotest.(check (float 0.0)) "total"
+    (b.Metrics.launch_s
+    +. Float.max
+         (Float.max b.Metrics.compute_s b.Metrics.dram_s)
+         (Float.max b.Metrics.smem_s b.Metrics.issue_s))
+    b.Metrics.total_s
+
 let suite =
   ( "gpusim",
     [
@@ -231,4 +335,11 @@ let suite =
       Alcotest.test_case "block limits" `Quick test_block_limits;
       Alcotest.test_case "roofline metrics" `Quick test_metrics_roofline;
       Alcotest.test_case "occupancy penalty" `Quick test_occupancy_penalty;
+      Alcotest.test_case "breakdown: all-zero counters" `Quick
+        test_breakdown_zero_counters;
+      Alcotest.test_case "breakdown: launch-dominated tiny grid" `Quick
+        test_breakdown_launch_dominated;
+      Alcotest.test_case "sum_times_s []" `Quick test_sum_times_empty;
+      Alcotest.test_case "breakdown: exact model values" `Quick
+        test_breakdown_exact_values;
     ] )

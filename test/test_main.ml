@@ -11,4 +11,5 @@ let () =
       Test_conform.suite;
       Test_gpusim.suite;
       Test_apps.suite;
+      Test_tune.suite;
     ]

@@ -1,0 +1,276 @@
+(* Tests for the layout autotuner (lib/tune): the masked-swizzle gallery
+   family, the candidate space, the static predictor's agreement with the
+   simulator, search determinism across pool sizes, and the legoc CLI
+   overview. *)
+
+module L = Lego_layout
+module T = Lego_tune
+
+(* --- Masked XOR swizzles -------------------------------------------------- *)
+
+let swizzle_layout ~rows ~cols ~mask ~shift =
+  L.Group_by.make
+    ~chain:
+      [ L.Order_by.make [ L.Gallery.xor_swizzle_masked ~rows ~cols ~mask ~shift ] ]
+    [ [ rows; cols ] ]
+
+let test_masked_swizzle_bijective () =
+  List.iter
+    (fun (rows, cols, mask, shift) ->
+      match L.Check.layout (swizzle_layout ~rows ~cols ~mask ~shift) with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "swizzlex_m%d_s%d on %dx%d: %s" mask shift rows cols e)
+    [
+      (8, 8, 7, 0);   (* prefix mask, the classic swizzle *)
+      (8, 8, 5, 1);   (* non-prefix mask, shifted key *)
+      (16, 4, 3, 2);
+      (4, 8, 0, 0);   (* mask 0 = row-major *)
+      (1, 4, 1, 0);   (* single row *)
+    ];
+  (* Parameters are part of the identity: distinct (mask, shift) pairs
+     give unequal pieces, equal pairs equal pieces. *)
+  let p a b = L.Gallery.xor_swizzle_masked ~rows:8 ~cols:8 ~mask:a ~shift:b in
+  Alcotest.(check bool) "same params equal" true (L.Piece.equal (p 5 1) (p 5 1));
+  Alcotest.(check bool) "mask differs" false (L.Piece.equal (p 5 1) (p 7 1));
+  Alcotest.(check bool) "shift differs" false (L.Piece.equal (p 5 1) (p 5 0))
+
+let test_masked_swizzle_rejects_bad_params () =
+  let bad f = Alcotest.(check bool) "rejected" true
+      (match f () with
+       | exception Invalid_argument _ -> true
+       | _ -> false)
+  in
+  bad (fun () -> L.Gallery.xor_swizzle_masked ~rows:4 ~cols:6 ~mask:1 ~shift:0);
+  bad (fun () -> L.Gallery.xor_swizzle_masked ~rows:4 ~cols:8 ~mask:8 ~shift:0);
+  bad (fun () -> L.Gallery.xor_swizzle_masked ~rows:4 ~cols:8 ~mask:(-1) ~shift:0);
+  bad (fun () -> L.Gallery.xor_swizzle_masked ~rows:0 ~cols:8 ~mask:1 ~shift:0);
+  bad (fun () -> L.Gallery.xor_swizzle_masked ~rows:4 ~cols:8 ~mask:1 ~shift:(-1))
+
+let test_masked_swizzle_name_round_trip () =
+  (* The printed name re-resolves through the gallery registry (this is
+     what makes tuner winners re-parseable as notation). *)
+  let piece = L.Gallery.xor_swizzle_masked ~rows:16 ~cols:8 ~mask:5 ~shift:1 in
+  (match L.Gallery.lookup "swizzlex_m5_s1" [ 16; 8 ] ~args:[] with
+  | Some p -> Alcotest.(check bool) "lookup equals constructor" true
+      (L.Piece.equal p piece)
+  | None -> Alcotest.fail "swizzlex_m5_s1 not found in gallery");
+  (* Out-of-range mask for the given dims must not resolve. *)
+  (match L.Gallery.lookup "swizzlex_m8_s0" [ 16; 8 ] ~args:[] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "mask 8 must be rejected for 8 columns");
+  let g = swizzle_layout ~rows:16 ~cols:8 ~mask:5 ~shift:1 in
+  let printed = Format.asprintf "%a" L.Group_by.pp g in
+  match Lego_lang.Elab.layout_of_string printed with
+  | Error e -> Alcotest.failf "%S does not parse: %s" printed e
+  | Ok g' ->
+    Alcotest.(check bool) "notation round-trips" true (L.Group_by.equal g g')
+
+(* --- Candidate space ------------------------------------------------------ *)
+
+let test_space_closure_dedup_and_seed_stability () =
+  let fps sp =
+    List.map T.Fingerprint.of_layout (T.Space.closure sp)
+  in
+  let c0 = fps (T.Space.make ~rows:16 ~cols:8 ()) in
+  Alcotest.(check bool) "non-empty" true (c0 <> []);
+  let sorted = List.sort_uniq compare c0 in
+  Alcotest.(check int) "closure has no duplicates" (List.length c0)
+    (List.length sorted);
+  (* Same seed, same sequence; different seed, same *set*. *)
+  let c0' = fps (T.Space.make ~rows:16 ~cols:8 ()) in
+  Alcotest.(check bool) "seed 0 reproducible" true (c0 = c0');
+  let c5 = fps (T.Space.make ~seed:5 ~rows:16 ~cols:8 ()) in
+  Alcotest.(check bool) "seeds enumerate the same set" true
+    (List.sort compare c5 = List.sort compare c0);
+  (* Non-power-of-two columns: no swizzle children anywhere. *)
+  let odd = fps (T.Space.make ~rows:9 ~cols:9 ()) in
+  Alcotest.(check bool) "no swizzles on 9x9" true
+    (not
+       (List.exists
+          (fun fp ->
+            let rec has i =
+              i + 8 <= String.length fp
+              && (String.sub fp i 8 = "swizzlex" || has (i + 1))
+            in
+            has 0)
+          odd))
+
+(* --- Predictor vs simulator ----------------------------------------------- *)
+
+let prepend_swizzle ~mask ~shift g ~rows ~cols =
+  L.Group_by.prepend
+    (L.Order_by.make [ L.Gallery.xor_swizzle_masked ~rows ~cols ~mask ~shift ])
+    g
+
+let test_predictor_agrees_with_simulator () =
+  let slot = T.Slot.matmul_smem () in
+  let rows = slot.T.Slot.rows and cols = slot.T.Slot.cols in
+  let rm = T.Slot.row_major ~rows ~cols in
+  let sw = prepend_swizzle ~mask:(cols - 1) ~shift:0 rm ~rows ~cols in
+  let check name g expect_cf =
+    let sc = T.Predict.score g slot.T.Slot.phases in
+    Alcotest.(check bool)
+      (name ^ ": predictor verdict") expect_cf
+      (T.Predict.conflict_free sc);
+    let sim = slot.T.Slot.simulate g in
+    Alcotest.(check bool)
+      (name ^ ": simulator verdict") expect_cf
+      (T.Slot.sim_conflict_free sim)
+  in
+  check "row-major" rm false;
+  check "full-mask swizzle" sw true
+
+(* --- Search: determinism and rediscovery ---------------------------------- *)
+
+let search_opts jobs =
+  { T.Tune.default_options with budget = 48; top = 4; beam = 8; jobs;
+    conform = false }
+
+let test_search_deterministic_across_jobs () =
+  let slot = T.Slot.matmul_smem () in
+  let r1 = T.Tune.search ~options:(search_opts 1) slot in
+  let r4 = T.Tune.search ~options:(search_opts 4) slot in
+  let key (sc : T.Tune.scored) =
+    (sc.T.Tune.fingerprint, (Option.get sc.T.Tune.sim).T.Slot.time_s)
+  in
+  Alcotest.(check bool) "same winner" true
+    (key r1.T.Tune.winner = key r4.T.Tune.winner);
+  Alcotest.(check int) "same explored count" r1.T.Tune.explored
+    r4.T.Tune.explored;
+  Alcotest.(check bool) "same full ranking" true
+    (List.map key r1.T.Tune.ranking = List.map key r4.T.Tune.ranking);
+  (* The tiny budget still rediscovers the conflict-free swizzle. *)
+  Alcotest.(check bool) "winner predicted conflict-free" true
+    (T.Predict.conflict_free r1.T.Tune.winner.T.Tune.static_score);
+  Alcotest.(check bool) "winner simulated conflict-free" true
+    (T.Slot.sim_conflict_free (Option.get r1.T.Tune.winner.T.Tune.sim))
+
+let toy_slot () =
+  (* 3x3: no tilings (prime extents), no swizzles (not a power of two) —
+     a five-candidate space the default budget covers exhaustively.  The
+     fake simulation is a pure function of the layout, so the test stays
+     fast and fully deterministic. *)
+  let rows = 3 and cols = 3 in
+  let phases =
+    [
+      T.Predict.Shared
+        {
+          elem_bytes = 4;
+          lanes = (fun t -> if t < 9 then Some [ t / 3; t mod 3 ] else None);
+        };
+    ]
+  in
+  let simulate g =
+    {
+      T.Slot.time_s = float_of_int (L.Group_by.apply_ints g [ 1; 2 ]);
+      s_accesses = 9.0;
+      s_cycles = 1.0;
+    }
+  in
+  {
+    T.Slot.name = "toy";
+    descr = "3x3 toy space";
+    rows;
+    cols;
+    phases;
+    simulate;
+    baselines = [];
+    full_warps = false;
+  }
+
+let test_small_space_is_exhaustive () =
+  let slot = toy_slot () in
+  let r =
+    T.Tune.search ~options:{ (search_opts 1) with budget = 64; top = 16 } slot
+  in
+  Alcotest.(check bool) "exhaustive" true r.T.Tune.exhaustive;
+  Alcotest.(check int) "explored = space" r.T.Tune.space_size r.T.Tune.explored;
+  Alcotest.(check int) "everything simulated" r.T.Tune.space_size
+    (List.length r.T.Tune.ranking);
+  (* The winner heads a ranking sorted by simulated time. *)
+  let times =
+    List.map (fun sc -> (Option.get sc.T.Tune.sim).T.Slot.time_s) r.T.Tune.ranking
+  in
+  Alcotest.(check bool) "ranking sorted" true
+    (List.sort compare times = times)
+
+let test_search_rejects_bad_options () =
+  let slot = toy_slot () in
+  List.iter
+    (fun options ->
+      Alcotest.(check bool) "rejected" true
+        (match T.Tune.search ~options slot with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [
+      { T.Tune.default_options with budget = 0 };
+      { T.Tune.default_options with top = 0 };
+      { T.Tune.default_options with beam = -1 };
+    ]
+
+(* --- legoc CLI overview ---------------------------------------------------- *)
+
+let legoc_exe =
+  (* Robust under both `dune runtest` (cwd = test dir) and `dune exec`
+     (cwd = workspace root): the built binary sits next to this test in
+     the build tree. *)
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/legoc.exe"
+
+let run_legoc args =
+  let cmd = Filename.quote_command legoc_exe args in
+  let ic = Unix.open_process_in (cmd ^ " 2>&1") in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buf)
+
+let test_cli_overview_lists_subcommands () =
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun args ->
+      let status, out = run_legoc args in
+      Alcotest.(check bool)
+        (Printf.sprintf "legoc %s exits 0" (String.concat " " args))
+        true
+        (status = Unix.WEXITED 0);
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool)
+            (Printf.sprintf "legoc %s mentions %S" (String.concat " " args) sub)
+            true (contains out sub))
+        [ "conform"; "tune"; "LAYOUT" ])
+    [ []; [ "--help" ] ]
+
+let suite =
+  ( "tune",
+    [
+      Alcotest.test_case "masked swizzles are bijections" `Quick
+        test_masked_swizzle_bijective;
+      Alcotest.test_case "masked swizzle parameter validation" `Quick
+        test_masked_swizzle_rejects_bad_params;
+      Alcotest.test_case "swizzle name round-trips" `Quick
+        test_masked_swizzle_name_round_trip;
+      Alcotest.test_case "space closure: dedup + seed stability" `Quick
+        test_space_closure_dedup_and_seed_stability;
+      Alcotest.test_case "predictor agrees with simulator" `Quick
+        test_predictor_agrees_with_simulator;
+      Alcotest.test_case "search deterministic across -j" `Quick
+        test_search_deterministic_across_jobs;
+      Alcotest.test_case "small space searched exhaustively" `Quick
+        test_small_space_is_exhaustive;
+      Alcotest.test_case "bad options rejected" `Quick
+        test_search_rejects_bad_options;
+      Alcotest.test_case "CLI overview lists subcommands" `Quick
+        test_cli_overview_lists_subcommands;
+    ] )
