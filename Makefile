@@ -1,7 +1,7 @@
 # Tier-1 gate: the repo must build and its test suite must pass.
-.PHONY: check build test conform conform-serial tune-smoke bench clean
+.PHONY: check build test conform conform-serial tune-smoke bench bench-json clean
 
-check: build test conform tune-smoke
+check: build test conform tune-smoke bench-json
 
 build:
 	dune build
@@ -29,6 +29,13 @@ tune-smoke:
 
 bench:
 	dune exec bench/main.exe
+
+# Autotune throughput benchmark with machine-readable output: refreshes
+# BENCH_tune.json (candidates/s on the fast path vs the effect-handler
+# path, plus winner timings) and enforces the tune assertions — the
+# >= 10x fast-path floor among them.
+bench-json:
+	dune exec bench/main.exe -- tune -j 2 --json BENCH_tune.json
 
 clean:
 	dune clean

@@ -1,0 +1,100 @@
+module Seg = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+(* A warp batch is at most [warp_size] (= 32) addresses, so distinct
+   counting is done by quadratic scan over two small scratch arrays —
+   no hashing, no allocation beyond the scratch.  These two functions
+   are the hot inner loop of both the simulator's warp rounds and the
+   tuner's static phase scoring (thousands of calls per candidate).
+   The array variants are the implementation; the list variants wrap
+   them, so there is exactly one copy of each counting rule. *)
+
+(* Bank and segment geometry is power-of-two on every real device, so
+   the per-address divisions strength-reduce to shifts; the division
+   form remains for exotic configurations.  [lsr] agrees with [/] only
+   for non-negative values, which the guards upstream (and layout
+   bijectivity) ensure — the [addr >= 0] test keeps the two forms
+   identical even on unguarded inputs. *)
+let pow2 x = x > 0 && x land (x - 1) = 0
+
+let log2 x =
+  let k = ref 0 in
+  let v = ref x in
+  while !v > 1 do
+    incr k;
+    v := !v lsr 1
+  done;
+  !k
+
+let bank_cycles_arr (device : Device.t) ~elem_bytes addrs n =
+  let nbanks = device.Device.smem_banks in
+  let bb = device.Device.smem_bank_bytes in
+  let shift = if pow2 bb then log2 bb else -1 in
+  let bmask = if pow2 nbanks then nbanks - 1 else -1 in
+  let words = Array.make device.Device.warp_size 0 in
+  let degree = Array.make nbanks 0 in
+  let nw = ref 0 in
+  (* Unsafe accesses below are bounded by construction: [i < !nw <=
+     warp_size] (the explicit batch check guards the only growth), and
+     [bank < nbanks] because it is a remainder by [nbanks]. *)
+  for k = 0 to n - 1 do
+    let b = Array.unsafe_get addrs k * elem_bytes in
+    let word = if shift >= 0 && b >= 0 then b lsr shift else b / bb in
+    (* Distinct words only: same-word lanes broadcast in one cycle. *)
+    let dup = ref false in
+    for i = 0 to !nw - 1 do
+      if Array.unsafe_get words i = word then dup := true
+    done;
+    if not !dup then begin
+      if !nw >= Array.length words then invalid_arg "Access: batch > warp";
+      Array.unsafe_set words !nw word;
+      incr nw;
+      let bank =
+        if bmask >= 0 && word >= 0 then word land bmask else word mod nbanks
+      in
+      degree.(bank) <- degree.(bank) + 1
+    end
+  done;
+  let worst = ref 1 in
+  for b = 0 to nbanks - 1 do
+    if Array.unsafe_get degree b > !worst then worst := Array.unsafe_get degree b
+  done;
+  !worst
+
+let bank_cycles device ~elem_bytes addrs =
+  let a = Array.of_list addrs in
+  bank_cycles_arr device ~elem_bytes a (Array.length a)
+
+let segments (device : Device.t) accesses =
+  List.fold_left
+    (fun acc (buf, addr) ->
+      let bytes = Mem.dtype_bytes buf.Mem.dtype in
+      Seg.add (buf.Mem.id, addr * bytes / device.Device.global_txn_bytes) acc)
+    Seg.empty accesses
+
+let txn_count_arr (device : Device.t) ~elem_bytes addrs n =
+  let tb = device.Device.global_txn_bytes in
+  let shift = if pow2 tb then log2 tb else -1 in
+  let segs = Array.make device.Device.warp_size 0 in
+  let ns = ref 0 in
+  for k = 0 to n - 1 do
+    let b = Array.unsafe_get addrs k * elem_bytes in
+    let seg = if shift >= 0 && b >= 0 then b lsr shift else b / tb in
+    let dup = ref false in
+    for i = 0 to !ns - 1 do
+      if Array.unsafe_get segs i = seg then dup := true
+    done;
+    if not !dup then begin
+      if !ns >= Array.length segs then invalid_arg "Access: batch > warp";
+      Array.unsafe_set segs !ns seg;
+      incr ns
+    end
+  done;
+  !ns
+
+let txn_count device ~elem_bytes addrs =
+  let a = Array.of_list addrs in
+  txn_count_arr device ~elem_bytes a (Array.length a)

@@ -1,0 +1,37 @@
+(** Pure warp-access cost arithmetic, shared by the effect-handler
+    simulator ({!Simt}), the vectorized fast path ({!Fastpath}) and the
+    tuner's static predictor ([Lego_tune.Predict]).  Keeping one copy of
+    the bank-conflict and coalescing rules is what makes the fast path's
+    bit-identity guarantee (and the Predict-vs-Simt differential test)
+    meaningful. *)
+
+module Seg : Set.S with type elt = int * int
+(** Distinct global-memory transaction segments, keyed by
+    [(buffer id, byte segment index)]. *)
+
+val bank_cycles : Device.t -> elem_bytes:int -> int list -> int
+(** [bank_cycles d ~elem_bytes addrs] is the number of shared-memory
+    cycles a warp needs for one access to element addresses [addrs]:
+    the maximum, over banks, of the number of {e distinct} words
+    requested from that bank (broadcast of one word is free), and at
+    least 1 — an empty or fully-broadcast access still costs a cycle. *)
+
+val segments : Device.t -> (Mem.buffer * int) list -> Seg.t
+(** [segments d accesses] is the set of distinct
+    [(buffer id, segment)] global-memory transactions touched by a
+    warp's accesses, where a segment covers
+    [d.global_txn_bytes] consecutive bytes. *)
+
+val txn_count : Device.t -> elem_bytes:int -> int list -> int
+(** [txn_count d ~elem_bytes addrs] is the number of distinct segments
+    covered by element addresses [addrs] of a single buffer. *)
+
+val bank_cycles_arr : Device.t -> elem_bytes:int -> int array -> int -> int
+(** [bank_cycles_arr d ~elem_bytes a n] is {!bank_cycles} over the
+    first [n] entries of [a] — the allocation-free form the scoring
+    hot loops use ({!bank_cycles} is a wrapper over it, so the two can
+    never disagree). *)
+
+val txn_count_arr : Device.t -> elem_bytes:int -> int array -> int -> int
+(** [txn_count_arr d ~elem_bytes a n] is {!txn_count} over the first
+    [n] entries of [a]. *)

@@ -4,11 +4,14 @@ type t = {
   warp_size : int;
   clock_ghz : float;
   dram_bw_gbps : float;
+  l2_bytes : int;
+  l2_bw_gbps : float;
   smem_banks : int;
   smem_bank_bytes : int;
   global_txn_bytes : int;
   fp32_tflops : float;
   fp16_tflops : float;
+  fp8_tflops : float;
   tensor_fp16_tflops : float;
   tensor_fp8_tflops : float;
   issue_per_sm_per_cycle : int;
@@ -23,13 +26,38 @@ let a100 =
     warp_size = 32;
     clock_ghz = 1.41;
     dram_bw_gbps = 1935.0;
+    l2_bytes = 40 * 1024 * 1024;
+    l2_bw_gbps = 4500.0;
     smem_banks = 32;
     smem_bank_bytes = 4;
     global_txn_bytes = 32;
     fp32_tflops = 19.5;
     fp16_tflops = 78.0;
+    fp8_tflops = 156.0;
     tensor_fp16_tflops = 312.0;
     tensor_fp8_tflops = 624.0;
+    issue_per_sm_per_cycle = 4;
+    kernel_launch_us = 3.0;
+    max_threads_per_block = 1024;
+  }
+
+let h100 =
+  {
+    name = "H100-SXM (simulated)";
+    num_sms = 132;
+    warp_size = 32;
+    clock_ghz = 1.83;
+    dram_bw_gbps = 3350.0;
+    l2_bytes = 50 * 1024 * 1024;
+    l2_bw_gbps = 8000.0;
+    smem_banks = 32;
+    smem_bank_bytes = 4;
+    global_txn_bytes = 32;
+    fp32_tflops = 67.0;
+    fp16_tflops = 134.0;
+    fp8_tflops = 268.0;
+    tensor_fp16_tflops = 989.0;
+    tensor_fp8_tflops = 1979.0;
     issue_per_sm_per_cycle = 4;
     kernel_launch_us = 3.0;
     max_threads_per_block = 1024;
@@ -39,8 +67,10 @@ let scale d f =
   {
     d with
     dram_bw_gbps = d.dram_bw_gbps *. f;
+    l2_bw_gbps = d.l2_bw_gbps *. f;
     fp32_tflops = d.fp32_tflops *. f;
     fp16_tflops = d.fp16_tflops *. f;
+    fp8_tflops = d.fp8_tflops *. f;
     tensor_fp16_tflops = d.tensor_fp16_tflops *. f;
     tensor_fp8_tflops = d.tensor_fp8_tflops *. f;
   }

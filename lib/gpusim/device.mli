@@ -1,10 +1,10 @@
 (** GPU device models for the simulator.
 
     The paper's evaluation machine is an NVIDIA A100-80GB; {!a100}
-    reproduces its headline rates.  Only ratios matter for the
-    reproduction (the paper's claims are relative), but realistic
-    constants keep the reported GFLOP/s and GB/s in familiar
-    territory. *)
+    reproduces its headline rates ({!h100} is provided for what-if
+    comparisons).  Only ratios matter for the reproduction (the paper's
+    claims are relative), but realistic constants keep the reported
+    GFLOP/s and GB/s in familiar territory. *)
 
 type t = {
   name : string;
@@ -12,11 +12,20 @@ type t = {
   warp_size : int;
   clock_ghz : float;
   dram_bw_gbps : float;  (** achievable global-memory bandwidth, GB/s *)
+  l2_bytes : int;  (** L2 data-cache capacity *)
+  l2_bw_gbps : float;  (** achievable L2 bandwidth, GB/s *)
   smem_banks : int;
   smem_bank_bytes : int;
-  global_txn_bytes : int;  (** global-memory transaction granularity *)
+  global_txn_bytes : int;
+      (** global-memory transaction granularity; also the L2 sector
+          size tracked by {!L2} *)
   fp32_tflops : float;
   fp16_tflops : float;  (** CUDA-core half rate *)
+  fp8_tflops : float;
+      (** CUDA-core scalar FP8 rate.  A100 has no FP8 units; the paper's
+          FP8 benchmark exercises INT8/FP8-rate paths, modeled at 2x the
+          scalar FP16 rate, consistently with the tensor-core entry
+          below. *)
   tensor_fp16_tflops : float;
   tensor_fp8_tflops : float;
       (** A100 tensor cores do not speed FP8 beyond FP16; the paper's FP8
@@ -27,6 +36,7 @@ type t = {
 }
 
 val a100 : t
+val h100 : t
 
 val scale : t -> float -> t
 (** [scale d f] multiplies every throughput of [d] by [f] (for

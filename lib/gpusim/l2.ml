@@ -1,0 +1,34 @@
+type t = {
+  capacity : int;
+  table : (int * int, int) Hashtbl.t;  (* sector -> last-use tick *)
+  mutable tick : int;
+}
+
+let create (device : Device.t) =
+  let capacity = max 1 (device.Device.l2_bytes / device.Device.global_txn_bytes) in
+  { capacity; table = Hashtbl.create 1024; tick = 0 }
+
+let evict_lru t =
+  (* Deterministic LRU: the victim is the sector with the smallest
+     last-use tick; ties are impossible because ticks are unique. *)
+  let victim =
+    Hashtbl.fold
+      (fun sector tick acc ->
+        match acc with
+        | Some (_, best) when best <= tick -> acc
+        | _ -> Some (sector, tick))
+      t.table None
+  in
+  match victim with
+  | Some (sector, _) -> Hashtbl.remove t.table sector
+  | None -> ()
+
+let access t sector =
+  t.tick <- t.tick + 1;
+  if Hashtbl.mem t.table sector then (
+    Hashtbl.replace t.table sector t.tick;
+    true)
+  else (
+    if Hashtbl.length t.table >= t.capacity then evict_lru t;
+    Hashtbl.replace t.table sector t.tick;
+    false)

@@ -1,0 +1,24 @@
+(** Deterministic L2 sector-cache model.
+
+    The L2 is modeled as a fully-associative cache of
+    [Device.l2_bytes / Device.global_txn_bytes] sectors with exact LRU
+    replacement, cold at every kernel launch.  One instance is created
+    per {!Simt.run}; both the effect-handler path and the fast path
+    drive it over the {e same} canonical access order (warps in
+    ascending id, loads before stores within a warp batch, segments in
+    ascending [(buffer id, segment)] order), so the hit counters are
+    reproducible and bit-identical across paths.
+
+    Eviction scans the table, which is fine for the corpus this
+    simulator runs (working sets stay well under the A100/H100
+    capacities, so evictions are rare to nonexistent). *)
+
+type t
+
+val create : Device.t -> t
+(** [create d] is an empty (cold) cache for device [d]. *)
+
+val access : t -> int * int -> bool
+(** [access t (buffer_id, segment)] touches one sector and returns
+    [true] on a hit, [false] on a miss (the sector is resident
+    afterwards either way). *)

@@ -22,6 +22,7 @@ type _ Effect.t +=
   | E_sync : unit Effect.t
   | E_flops : Mem.dtype * bool * int -> unit Effect.t
   | E_alu : int -> unit Effect.t
+  | E_noop : unit Effect.t
 
 let gload buf i = perform (E_gload (buf, i))
 let gstore buf i v = perform (E_gstore (buf, i, v))
@@ -30,11 +31,13 @@ let sstore i v = perform (E_sstore (i, v))
 let sync () = perform E_sync
 let flops ?(tensor = false) dt n = perform (E_flops (dt, tensor, n))
 let alu n = if n > 0 then perform (E_alu n)
+let noop () = perform E_noop
 
 type counters = {
   mutable insn_warp : float;
   mutable g_txns : float;
   mutable g_bytes : float;
+  mutable l2_hits : float;
   mutable s_accesses : float;
   mutable s_cycles : float;
   mutable flops_fp32 : float;
@@ -50,6 +53,7 @@ let fresh_counters () =
     insn_warp = 0.0;
     g_txns = 0.0;
     g_bytes = 0.0;
+    l2_hits = 0.0;
     s_accesses = 0.0;
     s_cycles = 0.0;
     flops_fp32 = 0.0;
@@ -78,30 +82,25 @@ type parked =
   | P_sync of (unit, unit) continuation
   | P_flops of Mem.dtype * bool * int * (unit, unit) continuation
   | P_alu of int * (unit, unit) continuation
+  | P_noop of (unit, unit) continuation
 
 let is_sync = function P_sync _ -> true | _ -> false
 
-module Seg = Set.Make (struct
-  type t = int * int
-
-  let compare = compare
-end)
-
-module IntSet = Set.Make (Int)
-
 (* Cost a warp's batch of global accesses: one transaction per distinct
-   (buffer, segment) pair. *)
-let cost_global device c accesses =
-  let segs =
-    List.fold_left
-      (fun acc (buf, addr) ->
-        let bytes = Mem.dtype_bytes buf.Mem.dtype in
-        Seg.add (buf.Mem.id, addr * bytes / device.Device.global_txn_bytes) acc)
-      Seg.empty accesses
+   (buffer, segment) pair, each filtered through the launch's L2.
+   [Access.Seg.fold] iterates segments in ascending order, so the L2
+   sees a canonical access sequence regardless of lane order. *)
+let cost_global device l2 c accesses =
+  let segs = Access.segments device accesses in
+  let n = Access.Seg.cardinal segs in
+  let hits =
+    Access.Seg.fold
+      (fun seg acc -> if L2.access l2 seg then acc + 1 else acc)
+      segs 0
   in
-  let n = Seg.cardinal segs in
   c.g_txns <- c.g_txns +. float_of_int n;
   c.g_bytes <- c.g_bytes +. float_of_int (n * device.Device.global_txn_bytes);
+  c.l2_hits <- c.l2_hits +. float_of_int hits;
   c.insn_warp <- c.insn_warp +. 1.0
 
 (* Cost a warp's batch of shared accesses: the bank-conflict degree is the
@@ -111,21 +110,9 @@ let cost_global device c accesses =
    single (broadcast) access, while element strides that only look
    conflict-free in word units may serialize. *)
 let cost_shared device ~elem_bytes c addrs =
-  let banks = Hashtbl.create 8 in
-  List.iter
-    (fun addr ->
-      let word = addr * elem_bytes / device.Device.smem_bank_bytes in
-      let bank = word mod device.Device.smem_banks in
-      let set =
-        Option.value ~default:IntSet.empty (Hashtbl.find_opt banks bank)
-      in
-      Hashtbl.replace banks bank (IntSet.add word set))
-    addrs;
-  let degree =
-    Hashtbl.fold (fun _ set acc -> max acc (IntSet.cardinal set)) banks 0
-  in
   c.s_accesses <- c.s_accesses +. float_of_int (List.length addrs);
-  c.s_cycles <- c.s_cycles +. float_of_int (max degree 1);
+  c.s_cycles <-
+    c.s_cycles +. float_of_int (Access.bank_cycles device ~elem_bytes addrs);
   c.insn_warp <- c.insn_warp +. 1.0
 
 let record_flops c dt tensor n warp_count =
@@ -138,13 +125,28 @@ let record_flops c dt tensor n warp_count =
   | Mem.F8, true -> c.flops_tensor_fp8 <- c.flops_tensor_fp8 +. fl);
   c.insn_warp <- c.insn_warp +. 1.0
 
-let run_block ~device ~counters ~smem_elem_bytes ~block:(bdx, bdy)
+let run_block ~device ~l2 ~counters ~smem_elem_bytes ~block:(bdx, bdy)
     ~grid:(gdx, gdy) ~smem_words ~bx ~by body =
   let nthreads = bdx * bdy in
   let smem = Array.make smem_words 0.0 in
   let slots : parked option array = Array.make nthreads None in
   let cur = ref 0 in
   let remaining = ref nthreads in
+  (* Addresses are validated here, when the op is parked, so an
+     out-of-bounds access raises before any cost reaches [counters]. *)
+  let guard_shared addr =
+    if addr < 0 || addr >= smem_words then
+      invalid_arg
+        (Printf.sprintf "Simt: shared access %d outside 0..%d" addr
+           (smem_words - 1))
+  in
+  let guard_global (b : Mem.buffer) addr =
+    if addr < 0 || addr >= Array.length b.Mem.data then
+      invalid_arg
+        (Printf.sprintf "Simt: buffer %S access %d outside 0..%d" b.Mem.label
+           addr
+           (Array.length b.Mem.data - 1))
+  in
   let handler : (unit, unit) handler =
     {
       retc = (fun () -> decr remaining);
@@ -155,16 +157,28 @@ let run_block ~device ~counters ~smem_elem_bytes ~block:(bdx, bdy)
           | E_gload (b, i) ->
             Some
               (fun (k : (a, unit) continuation) ->
+                guard_global b i;
                 slots.(!cur) <- Some (P_gload (b, i, k)))
           | E_gstore (b, i, v) ->
-            Some (fun k -> slots.(!cur) <- Some (P_gstore (b, i, v, k)))
-          | E_sload i -> Some (fun k -> slots.(!cur) <- Some (P_sload (i, k)))
+            Some
+              (fun k ->
+                guard_global b i;
+                slots.(!cur) <- Some (P_gstore (b, i, v, k)))
+          | E_sload i ->
+            Some
+              (fun k ->
+                guard_shared i;
+                slots.(!cur) <- Some (P_sload (i, k)))
           | E_sstore (i, v) ->
-            Some (fun k -> slots.(!cur) <- Some (P_sstore (i, v, k)))
+            Some
+              (fun k ->
+                guard_shared i;
+                slots.(!cur) <- Some (P_sstore (i, v, k)))
           | E_sync -> Some (fun k -> slots.(!cur) <- Some (P_sync k))
           | E_flops (dt, tensor, n) ->
             Some (fun k -> slots.(!cur) <- Some (P_flops (dt, tensor, n, k)))
           | E_alu n -> Some (fun k -> slots.(!cur) <- Some (P_alu (n, k)))
+          | E_noop -> Some (fun k -> slots.(!cur) <- Some (P_noop k))
           | _ -> None);
     }
   in
@@ -185,19 +199,6 @@ let run_block ~device ~counters ~smem_elem_bytes ~block:(bdx, bdy)
     continue k v
   in
   let warp_of tid = tid / device.Device.warp_size in
-  let guard_shared addr =
-    if addr < 0 || addr >= smem_words then
-      invalid_arg
-        (Printf.sprintf "Simt: shared access %d outside 0..%d" addr
-           (smem_words - 1))
-  in
-  let guard_global (b : Mem.buffer) addr =
-    if addr < 0 || addr >= Array.length b.Mem.data then
-      invalid_arg
-        (Printf.sprintf "Simt: buffer %S access %d outside 0..%d" b.Mem.label
-           addr
-           (Array.length b.Mem.data - 1))
-  in
   (* Lock-step rounds. *)
   while !remaining > 0 do
     let round =
@@ -213,7 +214,9 @@ let run_block ~device ~counters ~smem_elem_bytes ~block:(bdx, bdy)
       let ready = if nonsync = [] then round else nonsync in
       (* Clear the processed slots before resuming (fibers re-park). *)
       List.iter (fun (tid, _) -> slots.(tid) <- None) ready;
-      (* Group by warp to account for coalescing and bank conflicts. *)
+      (* Group by warp to account for coalescing and bank conflicts.
+         Warps are visited in ascending id so the (stateful) L2 model
+         sees a canonical access order. *)
       let by_warp = Hashtbl.create 8 in
       List.iter
         (fun (tid, op) ->
@@ -222,8 +225,13 @@ let run_block ~device ~counters ~smem_elem_bytes ~block:(bdx, bdy)
             ((tid, op)
             :: Option.value ~default:[] (Hashtbl.find_opt by_warp w)))
         ready;
-      Hashtbl.iter
-        (fun _w ops ->
+      let warps =
+        Hashtbl.fold (fun w _ acc -> w :: acc) by_warp []
+        |> List.sort_uniq compare
+      in
+      List.iter
+        (fun w ->
+          let ops = Hashtbl.find by_warp w in
           let gloads =
             List.filter_map
               (function _, P_gload (b, i, _) -> Some (b, i) | _ -> None)
@@ -241,8 +249,8 @@ let run_block ~device ~counters ~smem_elem_bytes ~block:(bdx, bdy)
               (function _, P_sstore (i, _, _) -> Some i | _ -> None)
               ops
           in
-          if gloads <> [] then cost_global device counters gloads;
-          if gstores <> [] then cost_global device counters gstores;
+          if gloads <> [] then cost_global device l2 counters gloads;
+          if gstores <> [] then cost_global device l2 counters gstores;
           if sloads <> [] then
             cost_shared device ~elem_bytes:smem_elem_bytes counters sloads;
           if sstores <> [] then
@@ -265,7 +273,8 @@ let run_block ~device ~counters ~smem_elem_bytes ~block:(bdx, bdy)
                    count of warp instructions, not the sum. *)
                 alu_max := max !alu_max n
               | P_sync _ -> incr sync_count
-              | P_gload _ | P_gstore _ | P_sload _ | P_sstore _ -> ())
+              | P_noop _ | P_gload _ | P_gstore _ | P_sload _ | P_sstore _ ->
+                ())
             ops;
           Hashtbl.iter
             (fun (dt, tensor) n -> record_flops counters dt tensor n 1)
@@ -276,40 +285,68 @@ let run_block ~device ~counters ~smem_elem_bytes ~block:(bdx, bdy)
             counters.syncs <- counters.syncs +. 1.0;
             counters.insn_warp <- counters.insn_warp +. 1.0
           end)
-        by_warp;
+        warps;
       (* Execute stores before loads for deterministic same-round access. *)
       List.iter
         (fun (_, op) ->
           match op with
-          | P_gstore (b, i, v, _) ->
-            guard_global b i;
-            b.Mem.data.(i) <- v
-          | P_sstore (i, v, _) ->
-            guard_shared i;
-            smem.(i) <- v
+          | P_gstore (b, i, v, _) -> b.Mem.data.(i) <- v
+          | P_sstore (i, v, _) -> smem.(i) <- v
           | _ -> ())
         ready;
       List.iter
         (fun (tid, op) ->
           match op with
-          | P_gload (b, i, k) ->
-            guard_global b i;
-            resume_float tid k b.Mem.data.(i)
-          | P_sload (i, k) ->
-            guard_shared i;
-            resume_float tid k smem.(i)
+          | P_gload (b, i, k) -> resume_float tid k b.Mem.data.(i)
+          | P_sload (i, k) -> resume_float tid k smem.(i)
           | P_gstore (_, _, _, k)
           | P_sstore (_, _, k)
           | P_sync k
           | P_flops (_, _, _, k)
-          | P_alu (_, k) ->
+          | P_alu (_, k)
+          | P_noop k ->
             resume_unit tid k)
         ready
     end
   done
 
+(* Evenly strided sample across the whole grid: block [s] of the sample
+   maps to [s * total / simulated], so the first sample is block 0, the
+   stride is proportional, and the last sample lands within one stride
+   of the grid tail (no stranded suffix). *)
+let sample_indices ~total ~simulated =
+  List.init simulated (fun s -> s * total / simulated)
+
+let accumulate ~into:t c =
+  t.insn_warp <- t.insn_warp +. c.insn_warp;
+  t.g_txns <- t.g_txns +. c.g_txns;
+  t.g_bytes <- t.g_bytes +. c.g_bytes;
+  t.l2_hits <- t.l2_hits +. c.l2_hits;
+  t.s_accesses <- t.s_accesses +. c.s_accesses;
+  t.s_cycles <- t.s_cycles +. c.s_cycles;
+  t.flops_fp32 <- t.flops_fp32 +. c.flops_fp32;
+  t.flops_fp16 <- t.flops_fp16 +. c.flops_fp16;
+  t.flops_fp8 <- t.flops_fp8 +. c.flops_fp8;
+  t.flops_tensor_fp16 <- t.flops_tensor_fp16 +. c.flops_tensor_fp16;
+  t.flops_tensor_fp8 <- t.flops_tensor_fp8 +. c.flops_tensor_fp8;
+  t.syncs <- t.syncs +. c.syncs
+
+let scale_counters c scale =
+  c.insn_warp <- c.insn_warp *. scale;
+  c.g_txns <- c.g_txns *. scale;
+  c.g_bytes <- c.g_bytes *. scale;
+  c.l2_hits <- c.l2_hits *. scale;
+  c.s_accesses <- c.s_accesses *. scale;
+  c.s_cycles <- c.s_cycles *. scale;
+  c.flops_fp32 <- c.flops_fp32 *. scale;
+  c.flops_fp16 <- c.flops_fp16 *. scale;
+  c.flops_fp8 <- c.flops_fp8 *. scale;
+  c.flops_tensor_fp16 <- c.flops_tensor_fp16 *. scale;
+  c.flops_tensor_fp8 <- c.flops_tensor_fp8 *. scale;
+  c.syncs <- c.syncs *. scale
+
 let run ?(device = Device.a100) ?(smem_dtype = Mem.F32) ?sample_blocks
-    ~grid:(gdx, gdy) ~block:(bdx, bdy) ~smem_words body =
+    ?counters ~grid:(gdx, gdy) ~block:(bdx, bdy) ~smem_words body =
   if gdx <= 0 || gdy <= 0 then invalid_arg "Simt.run: empty grid";
   if bdx <= 0 || bdy <= 0 then invalid_arg "Simt.run: empty block";
   if bdx * bdy > device.Device.max_threads_per_block then
@@ -321,30 +358,26 @@ let run ?(device = Device.a100) ?(smem_dtype = Mem.F32) ?sample_blocks
     | Some n when n <= 0 -> invalid_arg "Simt.run: sample_blocks must be > 0"
     | Some n -> min n total_blocks
   in
+  let target = counters in
   let counters = fresh_counters () in
-  (* Evenly strided sample across the whole grid. *)
-  let step = total_blocks / simulated in
+  let l2 = L2.create device in
   let smem_elem_bytes = Mem.dtype_bytes smem_dtype in
-  for s = 0 to simulated - 1 do
-    let b = s * step in
-    let bx = b mod gdx and by = b / gdx in
-    run_block ~device ~counters ~smem_elem_bytes ~block:(bdx, bdy)
-      ~grid:(gdx, gdy) ~smem_words ~bx ~by body
-  done;
-  let scale = float_of_int total_blocks /. float_of_int simulated in
-  if simulated < total_blocks then begin
-    counters.insn_warp <- counters.insn_warp *. scale;
-    counters.g_txns <- counters.g_txns *. scale;
-    counters.g_bytes <- counters.g_bytes *. scale;
-    counters.s_accesses <- counters.s_accesses *. scale;
-    counters.s_cycles <- counters.s_cycles *. scale;
-    counters.flops_fp32 <- counters.flops_fp32 *. scale;
-    counters.flops_fp16 <- counters.flops_fp16 *. scale;
-    counters.flops_fp8 <- counters.flops_fp8 *. scale;
-    counters.flops_tensor_fp16 <- counters.flops_tensor_fp16 *. scale;
-    counters.flops_tensor_fp8 <- counters.flops_tensor_fp8 *. scale;
-    counters.syncs <- counters.syncs *. scale
-  end;
+  List.iter
+    (fun b ->
+      let bx = b mod gdx and by = b / gdx in
+      run_block ~device ~l2 ~counters ~smem_elem_bytes ~block:(bdx, bdy)
+        ~grid:(gdx, gdy) ~smem_words ~bx ~by body)
+    (sample_indices ~total:total_blocks ~simulated);
+  if simulated < total_blocks then
+    scale_counters counters
+      (float_of_int total_blocks /. float_of_int simulated);
+  let counters =
+    match target with
+    | None -> counters
+    | Some t ->
+      accumulate ~into:t counters;
+      t
+  in
   {
     device;
     grid = (gdx, gdy);
@@ -353,4 +386,3 @@ let run ?(device = Device.a100) ?(smem_dtype = Mem.F32) ?sample_blocks
     launches = 1;
     counters;
   }
-

@@ -10,11 +10,17 @@
 
     Cost accounting (see {!Metrics} for the time model):
     - a warp's global access costs one transaction per distinct
-      [global_txn_bytes] segment touched;
+      [global_txn_bytes] segment touched; each segment is filtered
+      through a per-launch {!L2} sector cache and hits are counted;
     - a warp's shared access costs one cycle per maximal bank-conflict
       degree (same-address broadcast is free);
     - [flops]/[alu] record arithmetic work;
     - control rounds cost one issued warp-instruction each.
+
+    Addresses are validated when an op parks, {e before} any cost is
+    recorded, so a failed launch cannot leave partially-mutated counters
+    behind (accumulation into a caller-supplied [?counters] record only
+    happens after the launch completes).
 
     Large grids can be sampled: only a representative subset of blocks is
     executed and the counters are scaled — block interactions do not
@@ -56,12 +62,19 @@ val alu : int -> unit
     index expressions here, tying the paper's cost model to the
     simulation. *)
 
+val noop : unit -> unit
+(** Park for one lock-step round without doing (or costing) anything.
+    Predicated kernels have masked-off lanes call [noop] wherever active
+    lanes perform a real op, keeping the warp converged so the per-warp
+    batching (and the {!Fastpath} equivalence) stays exact. *)
+
 (** {2 Running kernels} *)
 
 type counters = {
   mutable insn_warp : float;
   mutable g_txns : float;
   mutable g_bytes : float;
+  mutable l2_hits : float;
   mutable s_accesses : float;
   mutable s_cycles : float;
   mutable flops_fp32 : float;
@@ -72,6 +85,8 @@ type counters = {
   mutable syncs : float;
 }
 
+val fresh_counters : unit -> counters
+
 type report = {
   device : Device.t;
   grid : int * int;
@@ -81,10 +96,39 @@ type report = {
   counters : counters;
 }
 
+(** {2 Warp cost kernels (shared with {!Fastpath} and the tuner)} *)
+
+val cost_global :
+  Device.t -> L2.t -> counters -> (Mem.buffer * int) list -> unit
+(** Cost one warp-wide batch of global accesses: one transaction per
+    distinct [(buffer, segment)] pair, in ascending segment order
+    through [l2], plus one issued warp instruction. *)
+
+val cost_shared : Device.t -> elem_bytes:int -> counters -> int list -> unit
+(** Cost one warp-wide batch of shared accesses at the bank-conflict
+    degree of {!Access.bank_cycles}, plus one issued warp instruction. *)
+
+val record_flops : counters -> Mem.dtype -> bool -> int -> int -> unit
+
+val scale_counters : counters -> float -> unit
+(** Multiply every counter in place (sampled-grid extrapolation).
+    Shared with {!Fastpath} so both paths scale with the identical
+    float operations. *)
+
+val accumulate : into:counters -> counters -> unit
+(** Add every counter of the second record into [into]. *)
+
+val sample_indices : total:int -> simulated:int -> int list
+(** The block ids simulated by a sampled run: [s * total / simulated]
+    for [s] in [0 .. simulated-1] — proportionally strided, so the
+    sample spans the whole grid (no stranded tail) with no duplicates
+    whenever [simulated <= total]. *)
+
 val run :
   ?device:Device.t ->
   ?smem_dtype:Mem.dtype ->
   ?sample_blocks:int ->
+  ?counters:counters ->
   grid:int * int ->
   block:int * int ->
   smem_words:int ->
@@ -95,7 +139,10 @@ val run :
     report.  [smem_dtype] (default [F32]) is the element type behind
     {!sload}/{!sstore} indices: bank conflicts are computed on byte
     addresses ([index * element bytes]), so sub-word dtypes (F16/F8) pack
-    several elements into one [Device.smem_bank_bytes] bank word.  Raises
+    several elements into one [Device.smem_bank_bytes] bank word.  When
+    [?counters] is given, the launch's (scaled) counters are added into
+    it after the launch completes and the same record is returned in the
+    report; a launch that raises leaves it untouched.  Raises
     [Invalid_argument] for out-of-range shared accesses, out-of-bounds
-    buffer accesses, or block sizes beyond the device limit. *)
-
+    buffer accesses, or block sizes beyond the device limit — at the
+    moment the offending op parks, before it is costed. *)

@@ -24,11 +24,33 @@ let var_names ?(prefix = "i") g =
 
 let index_vars ?prefix g = List.map Expr.var (var_names ?prefix g)
 
-let ranges_of ?prefix g =
-  Range.env_of_list
-    (List.map2
-       (fun name extent -> (name, Range.of_extent extent))
-       (var_names ?prefix g) (L.Group_by.dims g))
+(* The {!Simplify} / {!Range} / {!Prover} memo caches are keyed by
+   {e physical} env identity, so a fresh env per call starts them cold:
+   every candidate in a tuning space shares the same dims — the same
+   ranges — yet each rebuilt env threw the caches away.  Interning the
+   env per (prefix, dims) keeps one physical env per logical space, so
+   sub-expression rewrites shared across candidates actually hit.
+   Domain-local (envs are immutable maps; the interning table itself
+   must not be shared).  Growth is bounded by the number of distinct
+   (prefix, dims) a process ever queries. *)
+let ranges_memo : (string * int list, Range.env) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let ranges_of ?(prefix = "i") g =
+  let dims = L.Group_by.dims g in
+  let tbl = Domain.DLS.get ranges_memo in
+  let key = (prefix, dims) in
+  match Hashtbl.find_opt tbl key with
+  | Some env -> env
+  | None ->
+    let env =
+      Range.env_of_list
+        (List.map2
+           (fun name extent -> (name, Range.of_extent extent))
+           (var_names ~prefix g) dims)
+    in
+    Hashtbl.add tbl key env;
+    env
 
 let apply_to ?(simplify = true) ?(env = Range.empty_env) g idx =
   let raw = L.Group_by.apply (module Dom) g idx in

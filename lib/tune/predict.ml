@@ -15,44 +15,25 @@ type score = {
 
 let conflict_free s = s.smem_phases > 0 && s.smem_cycles = s.smem_phases
 
-(* Mirror of [Simt.cost_shared]: banks are [smem_bank_bytes] wide and
-   interleaved by byte address; the cost of a warp access is the largest
-   number of distinct bank words hitting one bank (same-word broadcast is
-   free). *)
+(* The warp-access arithmetic is {!Lego_gpusim.Access} — the {e same}
+   code the simulator's [cost_shared]/[cost_global] run, so predictor
+   and simulator cannot drift (the conformance suite checks the
+   agreement differentially anyway). *)
 let bank_cycles (device : G.Device.t) ~elem_bytes addrs =
-  let banks = Hashtbl.create 8 in
-  List.iter
-    (fun addr ->
-      let word = addr * elem_bytes / device.smem_bank_bytes in
-      let bank = word mod device.smem_banks in
-      let set =
-        Option.value ~default:[] (Hashtbl.find_opt banks bank)
-      in
-      if not (List.mem word set) then Hashtbl.replace banks bank (word :: set))
-    addrs;
-  Hashtbl.fold (fun _ set acc -> max acc (List.length set)) banks 1
+  G.Access.bank_cycles device ~elem_bytes addrs
 
-(* Mirror of [Simt.cost_global]: one transaction per distinct
-   [global_txn_bytes] segment the warp touches. *)
 let txn_count (device : G.Device.t) ~elem_bytes addrs =
-  let segs = Hashtbl.create 8 in
-  List.iter
-    (fun addr -> Hashtbl.replace segs (addr * elem_bytes / device.global_txn_bytes) ())
-    addrs;
-  Hashtbl.length segs
+  G.Access.txn_count device ~elem_bytes addrs
 
-let score ?(device = G.Device.a100) ?weights (g : L.Group_by.t) phases =
-  let ops = Lego_symbolic.Cost.ops ?weights (Lego_symbolic.Sym.apply g) in
+let interpret_score ~device ~apply ~ops phases =
   let lanes_of f =
-    List.filter_map f (List.init device.warp_size Fun.id)
+    List.filter_map f (List.init device.G.Device.warp_size Fun.id)
   in
   List.fold_left
     (fun acc phase ->
       match phase with
       | Shared { elem_bytes; lanes } ->
-        let addrs =
-          List.map (fun idx -> L.Group_by.apply_ints g idx) (lanes_of lanes)
-        in
+        let addrs = List.map apply (lanes_of lanes) in
         if addrs = [] then acc
         else
           {
@@ -69,6 +50,143 @@ let score ?(device = G.Device.a100) ?weights (g : L.Group_by.t) phases =
           { acc with gmem_txns = acc.gmem_txns + txn_count device ~elem_bytes addrs })
     { smem_phases = 0; smem_accesses = 0; smem_cycles = 0; gmem_txns = 0; ops }
     phases
+
+(* Phase lanes are a property of the {e slot}, not the candidate: every
+   candidate in a space shares the same logical dims, so each shared
+   phase's active-lane logical indices flatten to the same int array
+   once, and scoring a candidate is then one compiled-closure call per
+   lane.  Global phases never route through the candidate at all, so
+   their transaction total is a constant of the phase list.  One-entry
+   cache, keyed by physical equality of the phase list (the slot record
+   holds one list for the whole search), domain-local because scoring
+   runs inside [Exec.map] workers. *)
+type precomp = {
+  p_phases : phase list;
+  p_dims : L.Shape.t;
+  p_warp : int;
+  p_uniq : int array;  (** Distinct flat logical indices, all phases. *)
+  p_shared : (int * int array) list;
+      (** (elem_bytes, positions into [p_uniq]).  Phases overlap heavily
+          (a store sweep and a load sweep cover the same tile), so each
+          distinct index is evaluated through the candidate once and the
+          phases gather from the shared value buffer. *)
+  p_gmem_txns : int;
+}
+
+let precomp_cache : precomp option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let precompute ~(device : G.Device.t) ~dims phases =
+  let lanes_of f =
+    List.filter_map f (List.init device.warp_size Fun.id)
+  in
+  let pos_of = Hashtbl.create 256 in
+  let uniq = ref [] and nuniq = ref 0 in
+  let position flat =
+    match Hashtbl.find_opt pos_of flat with
+    | Some p -> p
+    | None ->
+      let p = !nuniq in
+      Hashtbl.add pos_of flat p;
+      uniq := flat :: !uniq;
+      incr nuniq;
+      p
+  in
+  let shared, txns =
+    List.fold_left
+      (fun (shared, txns) phase ->
+        match phase with
+        | Shared { elem_bytes; lanes } ->
+          let pos =
+            List.map
+              (fun idx -> position (L.Shape.flatten_ints dims idx))
+              (lanes_of lanes)
+          in
+          ((elem_bytes, Array.of_list pos) :: shared, txns)
+        | Global { elem_bytes; addrs } ->
+          let addrs = lanes_of addrs in
+          ( shared,
+            if addrs = [] then txns
+            else txns + txn_count device ~elem_bytes addrs ))
+      ([], 0) phases
+  in
+  {
+    p_phases = phases;
+    p_dims = dims;
+    p_warp = device.warp_size;
+    p_uniq = Array.of_list (List.rev !uniq);
+    p_shared = List.rev shared;
+    p_gmem_txns = txns;
+  }
+
+(* Scratch buffers for the scoring loop — per domain, grown to the
+   largest slot ever scored, so per-candidate evaluation allocates
+   nothing: [vals] holds the candidate's value at each distinct
+   logical index, [batch] one phase's gathered warp addresses. *)
+let scratch : (int array ref * int array ref) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (ref [||], ref [||]))
+
+let scratch_get n =
+  let r = fst (Domain.DLS.get scratch) in
+  if Array.length !r < n then r := Array.make n 0;
+  !r
+
+let batch_get n =
+  let r = snd (Domain.DLS.get scratch) in
+  if Array.length !r < n then r := Array.make n 0;
+  !r
+
+let compiled_score ~(device : G.Device.t) c ~ops phases =
+  let dims = Compiled.dims c in
+  let cache = Domain.DLS.get precomp_cache in
+  let pc =
+    match !cache with
+    | Some pc
+      when pc.p_phases == phases && pc.p_warp = device.warp_size
+           && pc.p_dims = dims ->
+      pc
+    | _ ->
+      let pc = precompute ~device ~dims phases in
+      cache := Some pc;
+      pc
+  in
+  let nu = Array.length pc.p_uniq in
+  let vals = scratch_get nu in
+  let batch = batch_get device.warp_size in
+  for i = 0 to nu - 1 do
+    vals.(i) <- Compiled.apply_flat c pc.p_uniq.(i)
+  done;
+  List.fold_left
+    (fun acc (elem_bytes, pos) ->
+      let n = Array.length pos in
+      if n = 0 then acc
+      else begin
+        for i = 0 to n - 1 do
+          batch.(i) <- vals.(pos.(i))
+        done;
+        {
+          acc with
+          smem_phases = acc.smem_phases + 1;
+          smem_accesses = acc.smem_accesses + n;
+          smem_cycles =
+            acc.smem_cycles
+            + G.Access.bank_cycles_arr device ~elem_bytes batch n;
+        }
+      end)
+    {
+      smem_phases = 0;
+      smem_accesses = 0;
+      smem_cycles = 0;
+      gmem_txns = pc.p_gmem_txns;
+      ops;
+    }
+    pc.p_shared
+
+let score ?(device = G.Device.a100) ?(compiled = true) ?weights
+    (g : L.Group_by.t) phases =
+  let ops = Lego_symbolic.Cost.ops ?weights (Lego_symbolic.Sym.apply g) in
+  if compiled then compiled_score ~device (Compiled.of_layout g) ~ops phases
+  else interpret_score ~device ~apply:(L.Group_by.apply_ints g) ~ops phases
 
 (* Total order used for pruning and beam survival: fewest conflict cycles
    first, then fewest global transactions, then cheapest index

@@ -33,12 +33,25 @@ type score = {
 val conflict_free : score -> bool
 (** Every sampled shared phase ran at degree 1. *)
 
+val bank_cycles : Lego_gpusim.Device.t -> elem_bytes:int -> int list -> int
+(** {!Lego_gpusim.Access.bank_cycles} — re-exported so callers (and the
+    Predict-vs-Simt differential tests) see one name for the arithmetic
+    both stages share. *)
+
+val txn_count : Lego_gpusim.Device.t -> elem_bytes:int -> int list -> int
+(** {!Lego_gpusim.Access.txn_count}, likewise. *)
+
 val score :
   ?device:Lego_gpusim.Device.t ->
+  ?compiled:bool ->
   ?weights:Lego_symbolic.Cost.weights ->
   Lego_layout.Group_by.t ->
   phase list ->
   score
+(** [compiled] (default true) evaluates the candidate's addresses
+    through {!Compiled.of_layout}; [~compiled:false] keeps the
+    interpreter ([Group_by.apply_ints]) — same score either way, kept
+    for before/after benchmarking of the fast path. *)
 
 val compare_ranked : score * string -> score * string -> int
 (** Lexicographic [(smem_cycles, gmem_txns, ops, fingerprint)] — a total

@@ -1,5 +1,6 @@
 module L = Lego_layout
 module G = Lego_gpusim
+module F = Lego_gpusim.Fastpath
 module Sym = Lego_symbolic
 
 type sim = { time_s : float; s_accesses : float; s_cycles : float }
@@ -10,7 +11,7 @@ type t = {
   rows : int;
   cols : int;
   phases : Predict.phase list;
-  simulate : L.Group_by.t -> sim;
+  simulate : fast:bool -> L.Group_by.t -> sim;
   baselines : (string * sim Lazy.t) list;
   full_warps : bool;
 }
@@ -33,7 +34,7 @@ let sim_conflict_free ?(device = G.Device.a100) s =
   s.s_accesses > 0.0
   && s.s_cycles = s.s_accesses /. float_of_int device.G.Device.warp_size
 
-(* Per-access address-computation charge fed to [Simt.alu].  The raw
+(* Per-access address-computation charge fed to the [Alu] ops.  The raw
    symbolic op count wildly overstates bitwise GenP bijections: the
    expression language has no XOR, so [Gallery.xor_word] expands each bit
    through add/mul/div arithmetic (~150 ops for a 5-bit swizzle), while
@@ -54,6 +55,33 @@ let row_major ~rows ~cols =
       ]
     [ [ rows; cols ] ]
 
+(* The candidate's (i, j) -> shared-word map; the slot kernels accept
+   any layout whose logical view is [rows x cols] (hierarchy
+   regroupings included — only the concatenated dims matter).
+   [fast:true] evaluates through the compiled closure; [fast:false]
+   through the structural interpreter, reproducing the pre-fast-path
+   per-access cost — the values are identical either way (the
+   {!Compiled} contract), so counters stay bit-identical. *)
+let layout_addr ~fast ~name ~rows ~cols g =
+  let c = Compiled.of_layout g in
+  if Compiled.dims c <> [ rows; cols ] then
+    invalid_arg
+      (Printf.sprintf "%s slot: layout must view [%d; %d]" name rows cols);
+  if fast then fun i j -> Compiled.apply_flat c ((i * cols) + j)
+  else fun i j -> L.Group_by.apply_ints g [ i; j ]
+
+(* Run one launch of a warp program on the selected path.  [fast:false]
+   is the effect-handler reference: the {e same} program interpreted
+   through {!Lego_gpusim.Simt} fibers — counters are bit-identical by
+   the {!Lego_gpusim.Fastpath} contract, only the wall-clock differs. *)
+let launch ~fast ~device ?smem_dtype ?sample_blocks ?key ~grid ~block
+    ~smem_words prog =
+  if fast then
+    F.run ~device ?smem_dtype ?sample_blocks ?key ~grid ~block ~smem_words prog
+  else
+    G.Simt.run ~device ?smem_dtype ?sample_blocks ~grid ~block ~smem_words
+      (F.interpret prog)
+
 (* FP16 matmul staging tile (the paper's figure 13 shared-memory GEMM
    operand): a 128 x 32 half-precision tile is staged row-wise by 8 warps
    and then consumed column-wise, 4 columns per warp in 4 row-parts.
@@ -62,29 +90,37 @@ let row_major ~rows ~cols =
    fix is the XOR swizzle the tuner should rediscover. *)
 let matmul_smem ?(device = G.Device.a100) () =
   let rows = 128 and cols = 32 in
-  let simulate g =
-    let saddr i j = L.Group_by.apply_ints g [ i; j ] in
+  let program ~fast g =
+    let saddr = layout_addr ~fast ~name:"matmul" ~rows ~cols g in
     let aops = addr_ops g in
-    let kern (ctx : G.Simt.ctx) =
-      (* Stage: warp [ty] stores rows ty, ty+8, ... — lane tx = column. *)
-      for l = 0 to (rows / 8) - 1 do
-        let r = ctx.ty + (8 * l) in
-        G.Simt.alu aops;
-        G.Simt.sstore (saddr r ctx.tx) 1.0
-      done;
-      G.Simt.sync ();
-      (* Consume: warp [ty] reads columns 4ty .. 4ty+3, lane tx = row
-         within each 32-row part. *)
-      for c = 4 * ctx.ty to (4 * ctx.ty) + 3 do
-        for p = 0 to (rows / 32) - 1 do
-          G.Simt.alu aops;
-          ignore (G.Simt.sload (saddr ((p * 32) + ctx.tx) c))
-        done
-      done
-    in
+    (* Stage: warp [ty] stores rows ty, ty+8, ... — lane tx = column. *)
+    List.concat
+      (List.init (rows / 8) (fun l ->
+           [
+             F.Alu aops;
+             F.Sstore
+               (fun (ctx : G.Simt.ctx) -> saddr (ctx.ty + (8 * l)) ctx.tx);
+           ]))
+    @ [ F.Sync ]
+    (* Consume: warp [ty] reads columns 4ty .. 4ty+3, lane tx = row
+       within each 32-row part. *)
+    @ List.concat
+        (List.init 4 (fun co ->
+             List.concat
+               (List.init (rows / 32) (fun p ->
+                    [
+                      F.Alu aops;
+                      F.Sload
+                        (fun (ctx : G.Simt.ctx) ->
+                          saddr ((p * 32) + ctx.tx) ((4 * ctx.ty) + co));
+                    ]))))
+  in
+  let simulate ~fast g =
     let r =
-      G.Simt.run ~device ~smem_dtype:G.Mem.F16 ~grid:(4, 1) ~block:(32, 8)
-        ~smem_words:(rows * cols) kern
+      launch ~fast ~device ~smem_dtype:G.Mem.F16
+        ~key:("matmul:" ^ Fingerprint.of_layout g)
+        ~grid:(4, 1) ~block:(32, 8) ~smem_words:(rows * cols)
+        (program ~fast g)
     in
     sim_of_reports [ r ]
   in
@@ -101,23 +137,95 @@ let matmul_smem ?(device = G.Device.a100) () =
     cols;
     phases;
     simulate;
-    baselines = [ ("row-major", lazy (simulate (row_major ~rows ~cols))) ];
+    baselines =
+      [ ("row-major", lazy (simulate ~fast:true (row_major ~rows ~cols))) ];
     full_warps = true;
   }
 
-(* 32x32 FP32 transpose tile (figure 13): simulated end-to-end through
-   {!Lego_apps.Transpose.run_shared} with the candidate as the shared
-   tile layout.  The "naive" baseline is the no-shared-memory kernel with
-   uncoalesced global writes — the gap the paper's shared variant
-   closes. *)
+(* 32x32 FP32 transpose tile (figure 13): the shared-staged transpose of
+   {!Lego_apps.Transpose.run_shared} expressed as a warp program — the
+   candidate is the shared tile layout, the global views are the
+   row-major input and column-major-ordered output of the app.  The
+   "naive" baseline is the no-shared-memory kernel with uncoalesced
+   global writes — the gap the paper's shared variant closes. *)
 let transpose_smem ?(device = G.Device.a100) () =
   let rows = 32 and cols = 32 in
-  let cfg = Lego_apps.Transpose.default_config ~tile:32 1024 in
-  let simulate g =
-    let r =
-      Lego_apps.Transpose.run_shared ~device ~smem_layout:(Layout g) cfg
+  let size = 1024 in
+  let t = 32 in
+  let rows_per_iter = 256 / t in
+  let cfg = Lego_apps.Transpose.default_config ~tile:t size in
+  let arena_cap = 1 lsl 22 in
+  let inp, wi =
+    G.Mem.create_arena ~label:"in" G.Mem.F32 (size * size) ~cap:arena_cap
+  in
+  let out, wo =
+    G.Mem.create_arena ~label:"out" G.Mem.F32 (size * size) ~cap:arena_cap
+  in
+  (* Input is the row-major view, output the same logical index through
+     a column-major-ordered view (transposition as a pure layout
+     change); both compile to stride arithmetic, so even these
+     million-element views go through the fast path without tables. *)
+  let li = L.Sugar.tiled_view ~group:[ [ size; size ] ] () in
+  let lo =
+    L.Sugar.tiled_view
+      ~order:[ L.Sugar.col [ size; size ] ]
+      ~group:[ [ size; size ] ]
+      ()
+  in
+  let cli = Compiled.compile li and clo = Compiled.compile lo in
+  let program ~fast g =
+    let saddr = layout_addr ~fast ~name:"transpose" ~rows ~cols g in
+    let iaddr, oaddr =
+      if fast then
+        ( (fun i j -> Compiled.apply_flat cli ((i * size) + j)),
+          fun oj oi -> Compiled.apply_flat clo ((oj * size) + oi) )
+      else
+        ( (fun i j -> L.Group_by.apply_ints li [ i; j ]),
+          fun oj oi -> L.Group_by.apply_ints lo [ oj; oi ] )
     in
-    sim_of_reports r.reports
+    (* Stage the tile: coalesced reads, shared stores (possibly
+       conflicting, depending on the candidate layout)... *)
+    List.concat
+      (List.init (t / rows_per_iter) (fun r ->
+           [
+             F.Alu 4;
+             F.Gload
+               ( inp,
+                 fun (ctx : G.Simt.ctx) ->
+                   let i = (ctx.by * t) + ctx.ty + (r * rows_per_iter)
+                   and j = (ctx.bx * t) + ctx.tx in
+                   wi (iaddr i j) );
+             F.Sstore
+               (fun (ctx : G.Simt.ctx) ->
+                 saddr (ctx.ty + (r * rows_per_iter)) ctx.tx);
+           ]))
+    @ [ F.Sync ]
+    (* ...then write the transposed tile with coalesced global stores;
+       the shared reads walk a column of the tile. *)
+    @ List.concat
+        (List.init (t / rows_per_iter) (fun r ->
+             [
+               F.Alu 4;
+               F.Sload
+                 (fun (ctx : G.Simt.ctx) ->
+                   saddr ctx.tx (ctx.ty + (r * rows_per_iter)));
+               F.Gstore
+                 ( out,
+                   fun (ctx : G.Simt.ctx) ->
+                     let tj = ctx.ty + (r * rows_per_iter) in
+                     let oi = (ctx.bx * t) + tj and oj = (ctx.by * t) + ctx.tx in
+                     wo (oaddr oj oi) );
+             ]))
+  in
+  let simulate ~fast g =
+    let r =
+      launch ~fast ~device ~sample_blocks:4
+        ~key:("transpose:" ^ Fingerprint.of_layout g)
+        ~grid:(size / t, size / t)
+        ~block:(t, rows_per_iter) ~smem_words:(rows * cols)
+        (program ~fast g)
+    in
+    sim_of_reports [ r ]
   in
   let phases =
     List.init rows (fun ti ->
@@ -139,11 +247,7 @@ let transpose_smem ?(device = G.Device.a100) () =
             (let r = Lego_apps.Transpose.run_naive ~device cfg in
              sim_of_reports r.reports) );
         ( "row-major-smem",
-          lazy
-            (let r =
-               Lego_apps.Transpose.run_shared ~device ~smem_layout:Unpadded cfg
-             in
-             sim_of_reports r.reports) );
+          lazy (simulate ~fast:true (row_major ~rows ~cols)) );
       ];
     full_warps = true;
   }
@@ -152,15 +256,128 @@ let transpose_smem ?(device = G.Device.a100) () =
    walk anti-diagonals, so row-major storage serializes on banks; the
    paper's fix is the anti-diagonal layout of figure 8.  17 is prime and
    not a power of two, so the space here is just the sigma and gallery
-   roots — always exhaustive. *)
+   roots — always exhaustive.
+
+   The tile kernel of {!Lego_apps.Nw} is expressed as a {e predicated}
+   warp program: the [tx = 0] corner staging and the shrinking wavefront
+   fronts become [Masked] ops, so the warp stays converged and the fast
+   path applies.  All 2nb-1 diagonal launches share one op structure
+   (only global offsets shift with the diagonal), which is exactly what
+   the per-warp summary cache exploits across launches. *)
 let nw_smem ?(device = G.Device.a100) () =
   let b = 16 in
   let rows = b + 1 and cols = b + 1 in
-  let cfg = Lego_apps.Nw.default_config ~b 512 in
-  let simulate g =
-    let sbuff i j = L.Group_by.apply_ints g [ i; j ] in
-    let r = Lego_apps.Nw.run_custom ~device ~sbuff ~addr_cost:(addr_ops g) cfg in
-    sim_of_reports r.reports
+  let length = 512 in
+  let n = length + 1 in
+  let nb = length / b in
+  let scores, wrap =
+    G.Mem.create_arena ~label:"scores" G.Mem.I32 (n * n) ~cap:(1 lsl 22)
+  in
+  let sref_base = (b + 1) * (b + 1) in
+  let smem_words = sref_base + (b * b) in
+  (* The program is built {e once} per candidate and reused for all
+     2nb-1 diagonal launches: only the global base offsets shift with
+     the diagonal, so they read the [d]/[ti_lo] refs the launch loop
+     updates.  Shared addresses and masks never touch the refs, which
+     is what makes the one-key-per-candidate summary cache sound. *)
+  let program ~sbuff ~ac ~d ~ti_lo =
+    let base_i (ctx : G.Simt.ctx) = (!ti_lo + ctx.bx) * b
+    and base_j (ctx : G.Simt.ctx) = (!d - !ti_lo - ctx.bx) * b in
+    let lane0 (ctx : G.Simt.ctx) = ctx.tx = 0 in
+    (* Stage boundaries: top row, left column, corner (lane 0 only). *)
+    [
+      F.Alu ac;
+      F.Gload
+        (scores, fun ctx -> wrap ((base_i ctx * n) + base_j ctx + ctx.tx + 1));
+      F.Sstore (fun ctx -> sbuff 0 (ctx.G.Simt.tx + 1));
+      F.Alu ac;
+      F.Gload
+        ( scores,
+          fun ctx -> wrap (((base_i ctx + ctx.tx + 1) * n) + base_j ctx) );
+      F.Sstore (fun ctx -> sbuff (ctx.G.Simt.tx + 1) 0);
+      F.Masked (lane0, F.Alu ac);
+      F.Masked
+        (lane0, F.Gload (scores, fun ctx -> wrap ((base_i ctx * n) + base_j ctx)));
+      F.Masked (lane0, F.Sstore (fun _ -> sbuff 0 0));
+    ]
+    (* Stage the reference tile (row per thread). *)
+    @ List.init b (fun jj ->
+          F.Sstore (fun (ctx : G.Simt.ctx) -> sref_base + (ctx.tx * b) + jj))
+    @ [ F.Sync ]
+    (* Forward wavefront over the 2b-1 anti-diagonals of the tile: lane
+       tx updates cell (tx+1, s-tx+1) when it lies in the tile. *)
+    @ List.concat
+        (List.init ((2 * b) - 1) (fun s ->
+             let active (ctx : G.Simt.ctx) =
+               let j = s - ctx.tx + 1 in
+               j >= 1 && j <= b
+             in
+             [
+               F.Masked (active, F.Alu (4 * ac));
+               F.Masked
+                 ( active,
+                   F.Sload (fun (ctx : G.Simt.ctx) -> sbuff ctx.tx (s - ctx.tx))
+                 );
+               F.Masked
+                 ( active,
+                   F.Sload
+                     (fun (ctx : G.Simt.ctx) -> sbuff ctx.tx (s - ctx.tx + 1))
+                 );
+               F.Masked
+                 ( active,
+                   F.Sload
+                     (fun (ctx : G.Simt.ctx) -> sbuff (ctx.tx + 1) (s - ctx.tx))
+                 );
+               F.Masked
+                 ( active,
+                   F.Sload
+                     (fun (ctx : G.Simt.ctx) ->
+                       sref_base + (ctx.tx * b) + (s - ctx.tx)) );
+               F.Masked (active, F.Flops (G.Mem.I32, false, 4));
+               F.Masked
+                 ( active,
+                   F.Sstore
+                     (fun (ctx : G.Simt.ctx) ->
+                       sbuff (ctx.tx + 1) (s - ctx.tx + 1)) );
+               F.Sync;
+             ]))
+    (* Write the tile interior back, thread per column so the global
+       stores of a round are consecutive (coalesced), as in Rodinia. *)
+    @ List.concat
+        (List.init b (fun ii ->
+             [
+               F.Alu ac;
+               F.Sload
+                 (fun (ctx : G.Simt.ctx) -> sbuff (ii + 1) (ctx.tx + 1));
+               F.Gstore
+                 ( scores,
+                   fun ctx ->
+                     wrap
+                       (((base_i ctx + ii + 1) * n) + base_j ctx + ctx.tx + 1)
+                 );
+             ]))
+  in
+  let simulate_with ~fast ~key ~sbuff ~ac =
+    let d = ref 0 and ti_lo = ref 0 in
+    let prog = program ~sbuff ~ac ~d ~ti_lo in
+    let reports = ref [] in
+    for dv = 0 to (2 * nb) - 2 do
+      d := dv;
+      ti_lo := max 0 (dv - nb + 1);
+      let ti_hi = min dv (nb - 1) in
+      let blocks = ti_hi - !ti_lo + 1 in
+      let r =
+        launch ~fast ~device ~sample_blocks:2 ~key ~grid:(blocks, 1)
+          ~block:(b, 1) ~smem_words prog
+      in
+      reports := r :: !reports
+    done;
+    sim_of_reports (List.rev !reports)
+  in
+  let simulate ~fast g =
+    let sbuff = layout_addr ~fast ~name:"nw" ~rows ~cols g in
+    simulate_with ~fast ~key:("nw:" ^ Fingerprint.of_layout g) ~sbuff
+      ~ac:(addr_ops g)
   in
   (* Wavefront step [s]: active lane [t] updates cell (t+1, s-t+1) from
      its west, north and north-west neighbours.  Sample a mid and a full
@@ -186,6 +403,11 @@ let nw_smem ?(device = G.Device.a100) () =
         ])
       [ b / 2; b - 1 ]
   in
+  let antidiag_layout =
+    L.Group_by.make
+      ~chain:[ L.Order_by.make [ L.Gallery.antidiag (b + 1) ] ]
+      [ [ b + 1; b + 1 ] ]
+  in
   {
     name = "nw";
     descr = "17x17 FP32 Needleman-Wunsch score buffer (shared memory)";
@@ -195,14 +417,8 @@ let nw_smem ?(device = G.Device.a100) () =
     simulate;
     baselines =
       [
-        ( "row-major",
-          lazy
-            (let r = Lego_apps.Nw.run ~device Lego_apps.Nw.RowMajor cfg in
-             sim_of_reports r.reports) );
-        ( "antidiag",
-          lazy
-            (let r = Lego_apps.Nw.run ~device Lego_apps.Nw.AntiDiagonal cfg in
-             sim_of_reports r.reports) );
+        ("row-major", lazy (simulate ~fast:true (row_major ~rows ~cols)));
+        ("antidiag", lazy (simulate ~fast:true antidiag_layout));
       ];
     full_warps = false;
   }

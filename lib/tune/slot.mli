@@ -4,9 +4,15 @@
     A slot bundles everything the two search stages need: the logical
     shape of the space being laid out (for {!Space}), a list of
     representative warp access phases (for the {!Predict} pre-filter),
-    and a full {!Lego_gpusim.Simt} simulation returning the roofline
-    time (the stage-two ground truth).  The three slots below are the
-    paper's three hand-tuned layout decisions (figures 13-14). *)
+    and a full simulation returning the roofline time (the stage-two
+    ground truth).  Each slot's kernel is a single
+    {!Lego_gpusim.Fastpath.program} — [simulate ~fast:true] runs it on
+    the warp-vectorized fast path (compiled layout closures, per-warp
+    summary cache), [simulate ~fast:false] interprets the {e same}
+    program through the {!Lego_gpusim.Simt} effect handler; the two
+    produce bit-identical counters, only the wall-clock differs.  The
+    three slots below are the paper's three hand-tuned layout decisions
+    (figures 13-14). *)
 
 type sim = {
   time_s : float;  (** {!Lego_gpusim.Metrics.sum_times_s} of the run. *)
@@ -21,8 +27,10 @@ type t = {
   cols : int;  (** Logical shape of the layout under search. *)
   phases : Predict.phase list;
       (** Representative warp phases for the static pre-filter. *)
-  simulate : Lego_layout.Group_by.t -> sim;
-      (** Full simulation of the kernel with the candidate layout. *)
+  simulate : fast:bool -> Lego_layout.Group_by.t -> sim;
+      (** Full simulation of the kernel with the candidate layout;
+          [fast] selects the warp-vectorized path or the effect-handler
+          reference (bit-identical counters). *)
   baselines : (string * sim Lazy.t) list;
       (** Named reference layouts (forced at most once). *)
   full_warps : bool;
@@ -43,13 +51,15 @@ val matmul_smem : ?device:Lego_gpusim.Device.t -> unit -> t
     is the known fix. *)
 
 val transpose_smem : ?device:Lego_gpusim.Device.t -> unit -> t
-(** 32 x 32 FP32 transpose tile via {!Lego_apps.Transpose.run_shared};
-    baselines include the naive no-shared-memory kernel. *)
+(** 32 x 32 FP32 transpose tile ({!Lego_apps.Transpose.run_shared}'s
+    kernel as a warp program); baselines include the naive
+    no-shared-memory kernel. *)
 
 val nw_smem : ?device:Lego_gpusim.Device.t -> unit -> t
-(** 17 x 17 FP32 Needleman-Wunsch score buffer via
-    {!Lego_apps.Nw.run_custom}; the anti-diagonal gallery layout is the
-    paper's fix. *)
+(** 17 x 17 FP32 Needleman-Wunsch score buffer ({!Lego_apps.Nw}'s tile
+    kernel as a {e predicated} warp program — the shrinking wavefront
+    fronts become [Masked] ops, so the warp stays converged); the
+    anti-diagonal gallery layout is the paper's fix. *)
 
 val all : ?device:Lego_gpusim.Device.t -> unit -> t list
 val find : ?device:Lego_gpusim.Device.t -> string -> t option

@@ -9,6 +9,7 @@ type options = {
   jobs : int;
   conform : bool;
   conform_points : int;
+  fastpath : bool;
 }
 
 let default_options =
@@ -20,6 +21,7 @@ let default_options =
     jobs = 1;
     conform = true;
     conform_points = 2048;
+    fastpath = true;
   }
 
 type scored = {
@@ -88,7 +90,10 @@ let search ?(options = default_options) (slot : Slot.t) =
   in
   let score_level cands =
     let arr = Array.of_list cands in
-    let scores = Exec.map ~pool arr (fun (_, g) -> Predict.score g slot.phases) in
+    let scores =
+      Exec.map ~pool arr (fun (_, g) ->
+          Predict.score ~compiled:options.fastpath g slot.phases)
+    in
     let level =
       List.mapi
         (fun i (fp, g) ->
@@ -133,7 +138,9 @@ let search ?(options = default_options) (slot : Slot.t) =
          all)
   in
   let arr = Array.of_list finalists in
-  let sims = Exec.map ~pool arr (fun sc -> slot.simulate sc.layout) in
+  let sims =
+    Exec.map ~pool arr (fun sc -> slot.simulate ~fast:options.fastpath sc.layout)
+  in
   (* Roofline time first; among roofline ties (the time model saturates
      on whichever resource bounds the kernel) prefer fewer simulated bank
      cycles, then the static order — ending, as always, at the

@@ -25,6 +25,13 @@ type options = {
   jobs : int;  (** {!Lego_exec.Exec} pool size (default 1). *)
   conform : bool;  (** Four-semantics check of the winner (default on). *)
   conform_points : int;  (** Points for that check (default 2048). *)
+  fastpath : bool;
+      (** Use compiled layout closures in stage one and the
+          warp-vectorized {!Lego_gpusim.Fastpath} in stage two (default
+          on).  [false] keeps the interpreter + effect-handler reference
+          path — same scores, same counters, same ranking; only the
+          wall-clock (and so [candidates_per_s]) differs.  Kept for
+          before/after benchmarking. *)
 }
 
 val default_options : options

@@ -215,6 +215,7 @@ let zero_counters () : Simt.counters =
     insn_warp = 0.0;
     g_txns = 0.0;
     g_bytes = 0.0;
+    l2_hits = 0.0;
     s_accesses = 0.0;
     s_cycles = 0.0;
     flops_fp32 = 0.0;
@@ -263,7 +264,8 @@ let test_breakdown_launch_dominated () =
     (b.Metrics.launch_s
     +. Float.max
          (Float.max b.Metrics.compute_s b.Metrics.dram_s)
-         (Float.max b.Metrics.smem_s b.Metrics.issue_s))
+         (Float.max b.Metrics.l2_s
+            (Float.max b.Metrics.smem_s b.Metrics.issue_s)))
     b.Metrics.total_s
 
 let test_sum_times_empty () =
@@ -279,13 +281,9 @@ let test_breakdown_exact_values () =
   c.Simt.flops_fp32 <- 1e6;
   let b = Metrics.breakdown (mk_report ~grid:(2, 1) ~block:(32, 4) c) in
   let d = Device.a100 in
-  (* grid (2,1), block (32,4).  Note the model's warps-per-block is the
-     float quotient (threads + 31) / 32 = 4.96875, not its ceiling. *)
-  let warps_per_block =
-    float_of_int ((32 * 4) + d.Device.warp_size - 1)
-    /. float_of_int d.Device.warp_size
-  in
-  let block_fill = Float.min 1.0 (warps_per_block /. 8.0) in
+  (* grid (2,1), block (32,4): exactly 4 warps, so block_fill = 4/8. *)
+  let warps_per_block = ((32 * 4) + d.Device.warp_size - 1) / d.Device.warp_size in
+  let block_fill = Float.min 1.0 (float_of_int warps_per_block /. 8.0) in
   let util =
     Float.min 1.0 (2.0 /. float_of_int d.Device.num_sms) *. block_fill
   in
@@ -305,12 +303,149 @@ let test_breakdown_exact_values () =
     /. (clock_hz *. sms *. util
        *. float_of_int d.Device.issue_per_sm_per_cycle))
     b.Metrics.issue_s;
+  Alcotest.(check (float 0.0)) "l2"
+    (1024.0 /. (d.Device.l2_bw_gbps *. 1e9) /. util)
+    b.Metrics.l2_s;
   Alcotest.(check (float 0.0)) "total"
     (b.Metrics.launch_s
     +. Float.max
          (Float.max b.Metrics.compute_s b.Metrics.dram_s)
-         (Float.max b.Metrics.smem_s b.Metrics.issue_s))
+         (Float.max b.Metrics.l2_s
+            (Float.max b.Metrics.smem_s b.Metrics.issue_s)))
     b.Metrics.total_s
+
+(* --- Regression tests for the ISSUE 6 cost-model bugfixes ---------------- *)
+
+let test_block_fill_ceiling () =
+  (* warps-per-block must be the integer ceiling of threads/32: a
+     32-thread block is exactly one warp (fill 1/8), not ~1.97 warps. *)
+  let d = Device.a100 in
+  Alcotest.(check (float 0.0)) "32 threads = 1 warp" (1.0 /. 8.0)
+    (Metrics.block_fill d ~threads:32);
+  Alcotest.(check (float 0.0)) "33 threads = 2 warps" (2.0 /. 8.0)
+    (Metrics.block_fill d ~threads:33);
+  Alcotest.(check (float 0.0)) "256 threads = 8 warps = full" 1.0
+    (Metrics.block_fill d ~threads:256)
+
+let test_sampling_spans_grid () =
+  (* Proportional stride: with 100 blocks and 40 samples the old
+     truncating step (100/40 = 2) stranded blocks 79..99; the sample
+     must span the whole grid with no duplicate block. *)
+  let idx = Simt.sample_indices ~total:100 ~simulated:40 in
+  Alcotest.(check int) "sample size" 40 (List.length idx);
+  Alcotest.(check int) "no duplicates" 40
+    (List.length (List.sort_uniq compare idx));
+  Alcotest.(check bool) "first sample is block 0" true (List.hd idx = 0);
+  List.iter
+    (fun b -> Alcotest.(check bool) "in range" true (b >= 0 && b < 100))
+    idx;
+  Alcotest.(check bool) "tail is visited" true (List.exists (fun b -> b >= 95) idx);
+  (* End-to-end: a kernel whose cost differs in the grid tail.  Blocks
+     >= 80 do a fully strided load (32 txns), earlier blocks a broadcast
+     (1 txn); the sampled estimate must account for the tail. *)
+  let src = Mem.create Mem.F32 (100 * 32 * 8) in
+  let body ctx =
+    if ctx.Simt.bx >= 80 then
+      ignore (Simt.gload src ((ctx.Simt.bx * 256) + (ctx.Simt.tx * 8)))
+    else ignore (Simt.gload src (ctx.Simt.bx * 256))
+  in
+  let sampled =
+    Simt.run ~sample_blocks:40 ~grid:(100, 1) ~block:(32, 1) ~smem_words:0 body
+  in
+  let expected_raw =
+    List.fold_left
+      (fun acc b -> acc + if b >= 80 then 32 else 1)
+      0
+      (Simt.sample_indices ~total:100 ~simulated:40)
+  in
+  let scale = 100.0 /. 40.0 in
+  Alcotest.(check (float 1e-9)) "tail txns are estimated"
+    (float_of_int expected_raw *. scale)
+    sampled.Simt.counters.g_txns;
+  Alcotest.(check bool) "estimate sees the expensive tail" true
+    (sampled.Simt.counters.g_txns > 100.0)
+
+let test_raising_kernel_leaves_counters_untouched () =
+  (* Bugfix: OOB used to be detected only when the round executed, after
+     the access was already costed.  With park-time validation plus
+     merge-after-completion, a caller-supplied counters record must stay
+     untouched when the launch raises. *)
+  let src = Mem.create ~label:"tiny" Mem.F32 4 in
+  let c = Simt.fresh_counters () in
+  (try
+     ignore
+       (Simt.run ~counters:c ~grid:(1, 1) ~block:(32, 1) ~smem_words:8
+          (fun ctx ->
+            Simt.sstore (ctx.Simt.tx mod 8) 1.0;
+            Simt.sync ();
+            (* lane 5 goes out of bounds *)
+            ignore (Simt.gload src (if ctx.Simt.tx = 5 then 4 else 0))));
+     Alcotest.fail "kernel should have raised"
+   with Invalid_argument _ -> ());
+  Alcotest.(check (float 0.0)) "insn" 0.0 c.Simt.insn_warp;
+  Alcotest.(check (float 0.0)) "txns" 0.0 c.Simt.g_txns;
+  Alcotest.(check (float 0.0)) "bytes" 0.0 c.Simt.g_bytes;
+  Alcotest.(check (float 0.0)) "s_accesses" 0.0 c.Simt.s_accesses;
+  Alcotest.(check (float 0.0)) "s_cycles" 0.0 c.Simt.s_cycles;
+  Alcotest.(check (float 0.0)) "syncs" 0.0 c.Simt.syncs;
+  (* and a successful launch accumulates into the same record *)
+  let r =
+    Simt.run ~counters:c ~grid:(1, 1) ~block:(32, 1) ~smem_words:0 (fun _ ->
+        Simt.alu 3)
+  in
+  Alcotest.(check (float 0.0)) "accumulated" 3.0 c.Simt.insn_warp;
+  Alcotest.(check bool) "report shares the record" true (r.Simt.counters == c)
+
+let test_fp8_scalar_rate () =
+  (* Bugfix: scalar FP8 was billed at the FP16 rate.  The same flop
+     count in FP8 must now be strictly cheaper than in FP16 (2x rate on
+     both presets), and exactly at [Device.fp8_tflops]. *)
+  let mk fl_field =
+    let c = zero_counters () in
+    fl_field c;
+    Metrics.breakdown (mk_report ~grid:(108, 1) ~block:(256, 1) c)
+  in
+  let b8 = mk (fun c -> c.Simt.flops_fp8 <- 1e9) in
+  let b16 = mk (fun c -> c.Simt.flops_fp16 <- 1e9) in
+  Alcotest.(check bool) "fp8 is cheaper than fp16" true
+    (b8.Metrics.compute_s < b16.Metrics.compute_s);
+  Alcotest.(check (float 0.0)) "fp8 billed at its own rate"
+    (1e9 /. (Device.a100.Device.fp8_tflops *. 1e12))
+    b8.Metrics.compute_s;
+  Alcotest.(check (float 1e-12)) "a100 fp8 = 2x fp16"
+    (b16.Metrics.compute_s /. 2.0)
+    b8.Metrics.compute_s;
+  Alcotest.(check bool) "h100 preset consistent" true
+    (Device.h100.Device.fp8_tflops = 2.0 *. Device.h100.Device.fp16_tflops)
+
+let test_l2_hits_and_dram_relief () =
+  (* Re-reading a resident working set hits in L2: the second pass adds
+     transactions and bytes but only the first pass reaches DRAM. *)
+  let src = Mem.create Mem.F32 2048 in
+  let body ctx =
+    ignore (Simt.gload src (ctx.Simt.tx * 8));
+    ignore (Simt.gload src (ctx.Simt.tx * 8))
+  in
+  let r = Simt.run ~grid:(1, 1) ~block:(32, 1) ~smem_words:0 body in
+  Alcotest.(check (float 0.0)) "txns count both passes" 64.0
+    r.Simt.counters.g_txns;
+  Alcotest.(check (float 0.0)) "second pass hits" 32.0 r.Simt.counters.l2_hits;
+  let b = Metrics.breakdown r in
+  let d = Device.a100 in
+  let util =
+    Float.min 1.0 (1.0 /. float_of_int d.Device.num_sms)
+    *. Metrics.block_fill d ~threads:32
+  in
+  Alcotest.(check (float 0.0)) "dram only sees misses"
+    (1024.0 (* 32 misses x 32B *) /. (d.Device.dram_bw_gbps *. 1e9) /. util)
+    b.Metrics.dram_s;
+  (* Streaming kernel: every sector touched once, no hits. *)
+  let stream =
+    Simt.run ~grid:(4, 1) ~block:(32, 1) ~smem_words:0 (fun ctx ->
+        ignore (Simt.gload src ((ctx.Simt.bx * 32) + ctx.Simt.tx)))
+  in
+  Alcotest.(check (float 0.0)) "streaming never hits" 0.0
+    stream.Simt.counters.l2_hits
 
 let suite =
   ( "gpusim",
@@ -342,4 +477,13 @@ let suite =
       Alcotest.test_case "sum_times_s []" `Quick test_sum_times_empty;
       Alcotest.test_case "breakdown: exact model values" `Quick
         test_breakdown_exact_values;
+      Alcotest.test_case "bugfix: block_fill integer ceiling" `Quick
+        test_block_fill_ceiling;
+      Alcotest.test_case "bugfix: sampling spans the grid tail" `Quick
+        test_sampling_spans_grid;
+      Alcotest.test_case "bugfix: raising kernel leaves counters untouched"
+        `Quick test_raising_kernel_leaves_counters_untouched;
+      Alcotest.test_case "bugfix: scalar fp8 rate" `Quick test_fp8_scalar_rate;
+      Alcotest.test_case "l2: hits relieve dram" `Quick
+        test_l2_hits_and_dram_relief;
     ] )

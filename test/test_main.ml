@@ -10,6 +10,7 @@ let () =
       Test_codegen.suite;
       Test_conform.suite;
       Test_gpusim.suite;
+      Test_fastpath.suite;
       Test_apps.suite;
       Test_tune.suite;
     ]

@@ -113,13 +113,126 @@ let test_predictor_agrees_with_simulator () =
     Alcotest.(check bool)
       (name ^ ": predictor verdict") expect_cf
       (T.Predict.conflict_free sc);
-    let sim = slot.T.Slot.simulate g in
+    let sim = slot.T.Slot.simulate ~fast:true g in
     Alcotest.(check bool)
       (name ^ ": simulator verdict") expect_cf
       (T.Slot.sim_conflict_free sim)
   in
   check "row-major" rm false;
   check "full-mask swizzle" sw true
+
+(* --- Compiled layout closures ---------------------------------------------- *)
+
+(* The corpus layouts plus a seeded Lgen batch: every flat index must map
+   identically through the compiled closure and the structural
+   interpreter — this is the contract that keeps fast-path simulations
+   bit-identical to the effect-handler reference. *)
+let compiled_test_layouts () =
+  Lego_conform.Corpus.all
+  @ List.init 8 (fun index ->
+        ( Printf.sprintf "lgen-2026-%d" index,
+          Lego_conform.Lgen.layout_of_seed ~seed:2026 ~index ))
+
+let test_compiled_matches_interpreter () =
+  List.iter
+    (fun (name, g) ->
+      let c = T.Compiled.compile g in
+      let dims = T.Compiled.dims c in
+      Alcotest.(check (list int)) (name ^ ": dims") (L.Group_by.dims g) dims;
+      for flat = 0 to T.Compiled.numel c - 1 do
+        let idx = L.Shape.unflatten_ints dims flat in
+        let expect = L.Group_by.apply_ints g idx in
+        let got = T.Compiled.apply_flat c flat in
+        if got <> expect then
+          Alcotest.failf "%s: flat %d: compiled %d <> interpreted %d" name flat
+            got expect;
+        let got' = T.Compiled.apply c idx in
+        if got' <> expect then
+          Alcotest.failf "%s: idx of flat %d: compiled %d <> interpreted %d"
+            name flat got' expect
+      done)
+    (compiled_test_layouts ())
+
+(* --- Predictor arithmetic vs simulator counters ---------------------------- *)
+
+(* [Predict.bank_cycles] / [Predict.txn_count] must agree {e exactly}
+   with what one [Simt.cost_shared] / [cost_global] warp round adds to
+   the counters, for warp access patterns drawn from real layouts — the
+   soundness condition that lets stage one prune for stage two. *)
+let test_predict_arithmetic_matches_simt_costs () =
+  let module G = Lego_gpusim in
+  let device = G.Device.a100 in
+  let buf, _ = G.Mem.create_arena ~label:"diff" G.Mem.F32 4096 ~cap:4096 in
+  List.iter
+    (fun (name, g) ->
+      let c = T.Compiled.of_layout g in
+      let n = T.Compiled.numel c in
+      List.iteri
+        (fun p stride ->
+          let addrs =
+            List.init device.G.Device.warp_size (fun t ->
+                T.Compiled.apply_flat c (((t * stride) + p) mod n))
+          in
+          (* Shared: one warp round through the simulator's counter. *)
+          let cnt = G.Simt.fresh_counters () in
+          G.Simt.cost_shared device ~elem_bytes:4 cnt addrs;
+          Alcotest.(check int)
+            (Printf.sprintf "%s stride %d: bank cycles" name stride)
+            (T.Predict.bank_cycles device ~elem_bytes:4 addrs)
+            (int_of_float cnt.G.Simt.s_cycles);
+          Alcotest.(check int)
+            (Printf.sprintf "%s stride %d: accesses" name stride)
+            (List.length addrs)
+            (int_of_float cnt.G.Simt.s_accesses);
+          (* Global: one warp round, cold L2 so every txn counts once. *)
+          let cnt = G.Simt.fresh_counters () in
+          let l2 = G.L2.create device in
+          G.Simt.cost_global device l2 cnt
+            (List.map (fun a -> (buf, a mod 4096)) addrs);
+          Alcotest.(check int)
+            (Printf.sprintf "%s stride %d: txns" name stride)
+            (T.Predict.txn_count device ~elem_bytes:4
+               (List.map (fun a -> a mod 4096) addrs))
+            (int_of_float cnt.G.Simt.g_txns))
+        [ 1; 2; 17; 32 ])
+    (compiled_test_layouts ())
+
+(* --- Slot fast path vs effect-handler reference ---------------------------- *)
+
+let test_slot_fast_matches_slow () =
+  List.iter
+    (fun (slot : T.Slot.t) ->
+      let rows = slot.T.Slot.rows and cols = slot.T.Slot.cols in
+      let rm = T.Slot.row_major ~rows ~cols in
+      let layouts =
+        (* A second, conflict-shaping candidate per slot: the XOR swizzle
+           where columns are a power of two, the anti-diagonal gallery
+           layout for NW's 17-wide buffer. *)
+        if cols land (cols - 1) = 0 then
+          [ ("row-major", rm);
+            ("swizzle", prepend_swizzle ~mask:7 ~shift:0 rm ~rows ~cols) ]
+        else
+          [ ("row-major", rm);
+            ( "antidiag",
+              L.Group_by.make
+                ~chain:[ L.Order_by.make [ L.Gallery.antidiag rows ] ]
+                [ [ rows; cols ] ] ) ]
+      in
+      List.iter
+        (fun (lname, g) ->
+          let fast = slot.T.Slot.simulate ~fast:true g in
+          let slow = slot.T.Slot.simulate ~fast:false g in
+          let msg field =
+            Printf.sprintf "%s/%s: %s" slot.T.Slot.name lname field
+          in
+          Alcotest.(check (float 0.0)) (msg "time_s") slow.T.Slot.time_s
+            fast.T.Slot.time_s;
+          Alcotest.(check (float 0.0)) (msg "s_accesses")
+            slow.T.Slot.s_accesses fast.T.Slot.s_accesses;
+          Alcotest.(check (float 0.0)) (msg "s_cycles") slow.T.Slot.s_cycles
+            fast.T.Slot.s_cycles)
+        layouts)
+    (T.Slot.all ())
 
 (* --- Search: determinism and rediscovery ---------------------------------- *)
 
@@ -161,7 +274,7 @@ let toy_slot () =
         };
     ]
   in
-  let simulate g =
+  let simulate ~fast:_ g =
     {
       T.Slot.time_s = float_of_int (L.Group_by.apply_ints g [ 1; 2 ]);
       s_accesses = 9.0;
@@ -265,6 +378,12 @@ let suite =
         test_space_closure_dedup_and_seed_stability;
       Alcotest.test_case "predictor agrees with simulator" `Quick
         test_predictor_agrees_with_simulator;
+      Alcotest.test_case "compiled closures match interpreter" `Quick
+        test_compiled_matches_interpreter;
+      Alcotest.test_case "predictor arithmetic = simulator costs" `Quick
+        test_predict_arithmetic_matches_simt_costs;
+      Alcotest.test_case "slot fast path = effect-handler path" `Quick
+        test_slot_fast_matches_slow;
       Alcotest.test_case "search deterministic across -j" `Quick
         test_search_deterministic_across_jobs;
       Alcotest.test_case "small space searched exhaustively" `Quick
