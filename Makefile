@@ -1,7 +1,8 @@
 # Tier-1 gate: the repo must build and its test suite must pass.
-.PHONY: check build test conform conform-serial tune-smoke bench bench-json clean
+.PHONY: check build test conform conform-serial f2-conform tune-smoke bench \
+	bench-json clean
 
-check: build test conform tune-smoke bench-json
+check: build test conform f2-conform tune-smoke bench-json
 
 build:
 	dune build
@@ -20,6 +21,12 @@ conform:
 # Same corpus on a single domain — the reference for determinism triage.
 conform-serial:
 	dune exec bin/legoc.exe -- conform --budget 30 -j 1
+
+# The affine-F2 leg must actually engage: a short run over the gallery
+# corpus (which contains the bit-linear family) that fails if no layout
+# was cross-checked against its GF(2) matrix form.
+f2-conform:
+	dune exec bin/legoc.exe -- conform --budget 10 --iters 50 -j 2 --require-f2
 
 # Autotuner smoke test: a tiny budget on two domains must still
 # rediscover the conflict-free XOR swizzle for the matmul staging tile

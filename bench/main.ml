@@ -402,6 +402,67 @@ let tune () =
       record ~experiment:"tune"
         ~metric:(name ^ "_fastpath_speedup_j1")
         (r.T.Tune.candidates_per_s /. rs.T.Tune.candidates_per_s);
+      (* F2 oracle mode (lib/f2): closed-form conflict/coalescing
+         scoring over GL(n,F2) cost-equivalence classes.  Engages only
+         on power-of-two slots; elsewhere it degrades to the sampled
+         space and the comparison is skipped. *)
+      let ro =
+        T.Tune.search
+          ~options:{ T.Tune.default_options with jobs = 1; oracle = true }
+          slot
+      in
+      if ro.T.Tune.oracle_scored > 0 then begin
+        let elem_bytes =
+          List.fold_left
+            (fun acc -> function
+              | T.Predict.Shared { elem_bytes; _ } -> max acc elem_bytes
+              | T.Predict.Global _ -> acc)
+            1 slot.T.Slot.phases
+        in
+        let sp =
+          T.Space.make ~classes:true ~elem_bytes ~rows:slot.T.Slot.rows
+            ~cols:slot.T.Slot.cols ()
+        in
+        let family = List.length (T.Space.swizzle_family sp) in
+        let nclasses = List.length (T.Space.swizzle_classes sp) in
+        row
+          "oracle path: %d/%d closed-form; %d address-level sims vs %d \
+           (x%.1f fewer); %d swizzle classes cover %d (mask,shift) pairs\n"
+          ro.T.Tune.oracle_scored ro.T.Tune.explored ro.T.Tune.sim_scored
+          r.T.Tune.sim_scored
+          (float_of_int r.T.Tune.sim_scored
+          /. float_of_int (max 1 ro.T.Tune.sim_scored))
+          nclasses family;
+        record ~experiment:"tune" ~metric:(name ^ "_sim_scored_sampled")
+          (float_of_int r.T.Tune.sim_scored);
+        record ~experiment:"tune" ~metric:(name ^ "_sim_scored_f2")
+          (float_of_int ro.T.Tune.sim_scored);
+        record ~experiment:"tune" ~metric:(name ^ "_f2_sim_reduction")
+          (float_of_int r.T.Tune.sim_scored
+          /. float_of_int (max 1 ro.T.Tune.sim_scored));
+        record ~experiment:"tune" ~metric:(name ^ "_f2_swizzle_family")
+          (float_of_int family);
+        record ~experiment:"tune" ~metric:(name ^ "_f2_swizzle_classes")
+          (float_of_int nclasses);
+        record ~experiment:"tune" ~metric:(name ^ "_oracle_cand_per_s_j1")
+          ro.T.Tune.candidates_per_s;
+        let wo = ro.T.Tune.winner in
+        let wotime = (Option.get wo.T.Tune.sim).T.Slot.time_s in
+        if wotime > wtime then
+          fail "%s: oracle-mode winner %s is slower than sampled-mode %s" name
+            wo.T.Tune.fingerprint w.T.Tune.fingerprint;
+        if name = "matmul" then begin
+          if not (T.Predict.conflict_free wo.T.Tune.static_score) then
+            fail "matmul: oracle-mode winner is not predicted conflict-free";
+          if not (T.Slot.sim_conflict_free (Option.get wo.T.Tune.sim)) then
+            fail "matmul: oracle-mode winner is not conflict-free in simulation";
+          if 10 * ro.T.Tune.sim_scored > r.T.Tune.sim_scored then
+            fail
+              "matmul: oracle path simulated %d candidates, sampled path %d \
+               (< 10x reduction)"
+              ro.T.Tune.sim_scored r.T.Tune.sim_scored
+        end
+      end;
       fast_wall := !fast_wall +. r.T.Tune.static_seconds +. r.T.Tune.sim_seconds;
       slow_wall :=
         !slow_wall +. rs.T.Tune.static_seconds +. rs.T.Tune.sim_seconds;

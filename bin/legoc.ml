@@ -167,6 +167,16 @@ let skip_gallery_flag =
     & flag
     & info [ "skip-gallery" ] ~doc:"Skip the fixed gallery corpus.")
 
+let require_f2_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "require-f2" ]
+        ~doc:
+          "Exit non-zero unless the affine-F2 leg covered at least one \
+           layout (guards against the bit-linear family silently \
+           vanishing from the corpus).")
+
 let break_simplify_flag =
   Arg.(
     value
@@ -177,7 +187,8 @@ let break_simplify_flag =
            verify the harness catches and shrinks it (the run is expected \
            to fail).")
 
-let run_conform seed iters max_points budget skip_gallery break_simplify jobs =
+let run_conform seed iters max_points budget skip_gallery require_f2
+    break_simplify jobs =
   (* Flip before any pool exists: domains spawned later see the flag and
      start with empty memo caches. *)
   if break_simplify then Lego_symbolic.Simplify.set_test_only_break_rule true;
@@ -189,7 +200,12 @@ let run_conform seed iters max_points budget skip_gallery break_simplify jobs =
   in
   if break_simplify then Lego_symbolic.Simplify.set_test_only_break_rule false;
   Format.printf "%a@." Lego_conform.Conform.pp_report report;
-  if report.Lego_conform.Conform.failures = [] then 0 else 1
+  if require_f2 && report.Lego_conform.Conform.f2_covered = 0 then begin
+    Printf.eprintf "error: --require-f2 but no layout exercised the F2 leg\n";
+    1
+  end
+  else if report.Lego_conform.Conform.failures = [] then 0
+  else 1
 
 let conform_cmd =
   let doc = conform_doc in
@@ -198,8 +214,9 @@ let conform_cmd =
       `S Manpage.s_description;
       `P
         "Cross-checks the reference interpreter, the simplified symbolic \
-         expressions, the C backend (under C's truncating division) and \
-         the MLIR backend on concrete points, over the built-in gallery \
+         expressions, the C backend (under C's truncating division), the \
+         MLIR backend, and — on the bit-linear family — the affine-F2 \
+         matrix form on concrete points, over the built-in gallery \
          corpus plus a stream of seeded random layouts.  Exits non-zero \
          on any disagreement, printing a shrunk minimal layout and the \
          seed that reproduces it.";
@@ -209,7 +226,7 @@ let conform_cmd =
     (Cmd.info "conform" ~doc ~man)
     Term.(
       const run_conform $ seed_arg $ iters_arg $ max_points_arg $ budget_arg
-      $ skip_gallery_flag $ break_simplify_flag $ jobs_arg)
+      $ skip_gallery_flag $ require_f2_flag $ break_simplify_flag $ jobs_arg)
 
 (* ---- legoc tune: the layout autotuner --------------------------------- *)
 
@@ -271,7 +288,17 @@ let no_conform_flag =
     & info [ "no-conform" ]
         ~doc:"Skip the four-semantics conformance check of the winners.")
 
-let run_tune slot_names budget top beam seed jobs expect_cf no_conform =
+let oracle_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "oracle" ]
+        ~doc:
+          "F2 mode: score affine-linear candidates in closed form and \
+           enumerate the swizzle family by GF(2) cost-equivalence class \
+           — same verdicts, far fewer address-level evaluations.")
+
+let run_tune slot_names budget top beam seed jobs expect_cf no_conform oracle =
   let jobs = resolve_jobs jobs in
   let slots =
     match slot_names with
@@ -303,6 +330,7 @@ let run_tune slot_names budget top beam seed jobs expect_cf no_conform =
         seed;
         jobs;
         conform = not no_conform;
+        oracle;
       }
     in
     let ok = ref true in
@@ -351,7 +379,7 @@ let tune_cmd =
     Term.(
       const run_tune $ slots_arg $ tune_budget_arg $ tune_top_arg
       $ tune_beam_arg $ tune_seed_arg $ jobs_arg $ expect_cf_flag
-      $ no_conform_flag)
+      $ no_conform_flag $ oracle_flag)
 
 let layout_cmd =
   let doc = layout_doc in

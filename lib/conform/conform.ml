@@ -7,7 +7,13 @@ module Mp = Lego_mlirsim.Mparser
 module Mi = Lego_mlirsim.Minterp
 
 type mismatch = { stage : string; detail : string }
-type outcome = { points : int; c_checked : bool; mismatch : mismatch option }
+
+type outcome = {
+  points : int;
+  c_checked : bool;
+  f2_checked : bool;
+  mismatch : mismatch option;
+}
 
 exception Found of mismatch
 
@@ -24,6 +30,7 @@ let check_layout ?(max_points = default_max_points) ?(sample_seed = 0) g =
   let names = List.mapi (fun k _ -> Printf.sprintf "i%d" k) dims in
   let points = ref 0 in
   let c_active = ref false in
+  let f2_active = ref false in
   let mismatch =
     try
       (* Semantics (b): simplified symbolic expressions. *)
@@ -52,6 +59,22 @@ let check_layout ?(max_points = default_max_points) ?(sample_seed = 0) g =
       (* Semantics (d): the MLIR backend, run by the interpreter. *)
       let m_apply = Mp.parse_module (Mg.layout_apply_func ~name:"apply" g) in
       let m_inv = Mp.parse_module (Mg.layout_inv_func ~name:"inv" g) in
+      (* Semantics (e): the affine F₂ form, when the layout is in the
+         bit-linear family.  Every layout is a bijection by
+         construction, so a singular matrix here is itself a
+         compilation bug, not a skip. *)
+      let f2 =
+        match Lego_f2.Linear.of_layout g with
+        | None -> None
+        | Some lin -> (
+          match Lego_f2.Linear.inverse lin with
+          | Some lin_inv -> Some (lin, lin_inv)
+          | None ->
+            found "f2-rank"
+              "layout is bijective but its F2 matrix is singular (rank < %d)"
+              (Lego_f2.Linear.bits lin))
+      in
+      f2_active := f2 <> None;
       let seen = if n <= max_points then Some (Array.make n false) else None in
       let check_point idx =
         incr points;
@@ -107,7 +130,19 @@ let check_layout ?(max_points = default_max_points) ?(sample_seed = 0) g =
         let mback = Mi.run_func m_inv "inv" [ Mi.Int p ] in
         if mback <> idx then
           found "mlir-inv" "at p = %d: interpreter %s, MLIR %s" p (pp_ints idx)
-            (pp_ints mback)
+            (pp_ints mback);
+        match f2 with
+        | None -> ()
+        | Some (lin, lin_inv) ->
+          let flat = L.Shape.flatten_ints dims idx in
+          let fp = Lego_f2.Linear.apply lin flat in
+          if fp <> p then
+            found "f2-apply" "at %s (flat %d): interpreter %d, F2 %d" pt flat p
+              fp;
+          let fback = Lego_f2.Linear.apply lin_inv p in
+          if fback <> flat then
+            found "f2-inv" "at p = %d: flat index %d, F2 inverse %d" p flat
+              fback
       in
       (match seen with
       | Some _ -> Seq.iter check_point (L.Shape.indices dims)
@@ -121,7 +156,7 @@ let check_layout ?(max_points = default_max_points) ?(sample_seed = 0) g =
     | Found m -> Some m
     | exn -> Some { stage = "exception"; detail = Printexc.to_string exn }
   in
-  { points = !points; c_checked = !c_active; mismatch }
+  { points = !points; c_checked = !c_active; f2_checked = !f2_active; mismatch }
 
 type failure = {
   origin : string;
@@ -135,6 +170,7 @@ type report = {
   layouts : int;
   points : int;
   c_skipped : int;
+  f2_covered : int;
   failures : failure list;
   seconds : float;
   budget_exhausted : bool;
@@ -235,6 +271,7 @@ let run ?(gallery = true) ?(random = 200) ?(seed = 42) ?max_points
   let layouts = ref 0 in
   let points = ref 0 in
   let c_skipped = ref 0 in
+  let f2_covered = ref 0 in
   let failures = ref [] in
   let budget_exhausted = ref false in
   Array.iter
@@ -244,12 +281,14 @@ let run ?(gallery = true) ?(random = 200) ?(seed = 42) ?max_points
         incr layouts;
         points := !points + o.points;
         if not o.c_checked then incr c_skipped;
+        if o.f2_checked then incr f2_covered;
         Option.iter (fun f -> failures := f :: !failures) failure)
     results;
   {
     layouts = !layouts;
     points = !points;
     c_skipped = !c_skipped;
+    f2_covered = !f2_covered;
     failures = List.rev !failures;
     seconds = elapsed ();
     budget_exhausted = !budget_exhausted;
@@ -266,9 +305,10 @@ let pp_failure ppf f =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>conform: %d layouts, %d points, %d C-guard-skipped, %d mismatches \
-     (%.2fs, %.0f points/s)%s"
-    r.layouts r.points r.c_skipped (List.length r.failures) r.seconds
+    "@[<v>conform: %d layouts, %d points, %d C-guard-skipped, %d F2-covered, \
+     %d mismatches (%.2fs, %.0f points/s)%s"
+    r.layouts r.points r.c_skipped r.f2_covered (List.length r.failures)
+    r.seconds
     (float_of_int r.points /. (if r.seconds > 0. then r.seconds else 1e-9))
     (if r.budget_exhausted then " [time budget exhausted]" else "");
   List.iter (fun f -> Format.fprintf ppf "@,%a" pp_failure f) r.failures;

@@ -13,11 +13,16 @@
       {!Lego_codegen.C_printer.guard_nonneg} cannot certify the
       expressions, since the backend would refuse to emit them);
     - the MLIR backend's emitted functions, executed by
-      {!Lego_mlirsim.Minterp}.
+      {!Lego_mlirsim.Minterp};
+    - the affine F₂ form ({!Lego_f2.Linear.of_layout}) and its matrix
+      inverse, when the layout is in the bit-linear family (checked —
+      and counted — only there; a singular matrix on one of these
+      always-bijective layouts is reported as a mismatch in its own
+      right).
 
-    All four must agree, the forward map must be bijective, and [inv]
-    must invert [apply].  Any disagreement is minimized with {!Shrink}
-    and reported with a copy-pasteable reproduction. *)
+    All semantics must agree, the forward map must be bijective, and
+    [inv] must invert [apply].  Any disagreement is minimized with
+    {!Shrink} and reported with a copy-pasteable reproduction. *)
 
 type mismatch = {
   stage : string;
@@ -30,6 +35,9 @@ type outcome = {
   points : int;  (** Points actually evaluated. *)
   c_checked : bool;
       (** False when the non-negativity guard refused the C path. *)
+  f2_checked : bool;
+      (** True when the layout compiled to an affine F₂ form and the
+          ["f2-apply"] / ["f2-inv"] legs ran at every point. *)
   mismatch : mismatch option;  (** First disagreement found, if any. *)
 }
 
@@ -61,6 +69,7 @@ type report = {
   layouts : int;
   points : int;
   c_skipped : int;  (** Layouts whose C path the guard refused. *)
+  f2_covered : int;  (** Layouts the F₂ leg covered. *)
   failures : failure list;
   seconds : float;
   budget_exhausted : bool;

@@ -1,34 +1,91 @@
+(* O(1) exact LRU: an intrusive doubly-linked recency list threaded
+   through slot indices of growable arrays (no per-node allocation), plus
+   a sector -> slot table.  [head] is the least-recently-used slot,
+   [tail] the most-recently-used; every access unlinks its slot and
+   re-appends it at the tail, and a miss at capacity recycles the head
+   slot in place.  The observable hit/miss sequence is identical to the
+   previous tick-scan implementation (unique ticks made its minimum the
+   unique least-recently-touched sector — exactly this list's head); only
+   the per-access cost changes, from O(resident sectors) on a full-cache
+   miss to O(1). *)
+
 type t = {
   capacity : int;
-  table : (int * int, int) Hashtbl.t;  (* sector -> last-use tick *)
-  mutable tick : int;
+  slot_of : (int * int, int) Hashtbl.t; (* sector -> slot *)
+  mutable sector : (int * int) array; (* slot -> sector *)
+  mutable next : int array; (* slot -> towards MRU, -1 at tail *)
+  mutable prev : int array; (* slot -> towards LRU, -1 at head *)
+  mutable head : int; (* LRU slot, -1 when empty *)
+  mutable tail : int; (* MRU slot, -1 when empty *)
+  mutable size : int;
 }
 
-let create (device : Device.t) =
-  let capacity = max 1 (device.Device.l2_bytes / device.Device.global_txn_bytes) in
-  { capacity; table = Hashtbl.create 1024; tick = 0 }
+let create_sized ~capacity =
+  if capacity < 1 then invalid_arg "L2.create_sized: capacity must be >= 1";
+  {
+    capacity;
+    slot_of = Hashtbl.create 1024;
+    sector = [||];
+    next = [||];
+    prev = [||];
+    head = -1;
+    tail = -1;
+    size = 0;
+  }
 
-let evict_lru t =
-  (* Deterministic LRU: the victim is the sector with the smallest
-     last-use tick; ties are impossible because ticks are unique. *)
-  let victim =
-    Hashtbl.fold
-      (fun sector tick acc ->
-        match acc with
-        | Some (_, best) when best <= tick -> acc
-        | _ -> Some (sector, tick))
-      t.table None
-  in
-  match victim with
-  | Some (sector, _) -> Hashtbl.remove t.table sector
-  | None -> ()
+let create (device : Device.t) =
+  create_sized
+    ~capacity:(max 1 (device.Device.l2_bytes / device.Device.global_txn_bytes))
+
+(* Slots are only ever added until [capacity] and then recycled, so the
+   arrays grow geometrically up to the working set, never to the (much
+   larger) nominal capacity. *)
+let ensure_slot t =
+  if t.size >= Array.length t.sector then begin
+    let n = max 16 (min t.capacity (2 * Array.length t.sector)) in
+    let grow a fill =
+      let b = Array.make n fill in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    t.sector <- grow t.sector (0, 0);
+    t.next <- grow t.next (-1);
+    t.prev <- grow t.prev (-1)
+  end
+
+let unlink t s =
+  let p = t.prev.(s) and n = t.next.(s) in
+  if p >= 0 then t.next.(p) <- n else t.head <- n;
+  if n >= 0 then t.prev.(n) <- p else t.tail <- p
+
+let append_mru t s =
+  t.prev.(s) <- t.tail;
+  t.next.(s) <- -1;
+  if t.tail >= 0 then t.next.(t.tail) <- s else t.head <- s;
+  t.tail <- s
 
 let access t sector =
-  t.tick <- t.tick + 1;
-  if Hashtbl.mem t.table sector then (
-    Hashtbl.replace t.table sector t.tick;
-    true)
-  else (
-    if Hashtbl.length t.table >= t.capacity then evict_lru t;
-    Hashtbl.replace t.table sector t.tick;
-    false)
+  match Hashtbl.find_opt t.slot_of sector with
+  | Some s ->
+    unlink t s;
+    append_mru t s;
+    true
+  | None ->
+    (if t.size >= t.capacity then begin
+       (* Recycle the LRU slot in place. *)
+       let s = t.head in
+       unlink t s;
+       Hashtbl.remove t.slot_of t.sector.(s);
+       t.sector.(s) <- sector;
+       Hashtbl.add t.slot_of sector s;
+       append_mru t s
+     end
+     else begin
+       ensure_slot t;
+       let s = t.size in
+       t.size <- t.size + 1;
+       t.sector.(s) <- sector;
+       Hashtbl.add t.slot_of sector s;
+       append_mru t s
+     end);
+    false

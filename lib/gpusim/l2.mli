@@ -9,14 +9,19 @@
     ascending [(buffer id, segment)] order), so the hit counters are
     reproducible and bit-identical across paths.
 
-    Eviction scans the table, which is fine for the corpus this
-    simulator runs (working sets stay well under the A100/H100
-    capacities, so evictions are rare to nonexistent). *)
+    Recency is an intrusive doubly-linked list threaded through slot
+    arrays, so every access — eviction at capacity included — is O(1);
+    working sets larger than the cache keep the simulator linear instead
+    of quadratic in the resident sector count. *)
 
 type t
 
 val create : Device.t -> t
 (** [create d] is an empty (cold) cache for device [d]. *)
+
+val create_sized : capacity:int -> t
+(** A cold cache holding exactly [capacity] sectors — the eviction path
+    at test scale.  Raises [Invalid_argument] when [capacity < 1]. *)
 
 val access : t -> int * int -> bool
 (** [access t (buffer_id, segment)] touches one sector and returns

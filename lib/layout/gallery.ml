@@ -323,11 +323,22 @@ let names () =
    ([Piece.equal] compares [GenP]s by name and dims), so the registry
    parses them back out: [swizzlex_m<mask>_s<shift>].  Parsed by hand —
    [Scanf]'s [%d] would swallow the separating underscores as digit
-   separators. *)
+   separators, and [int_of_string]'s hex/octal/binary/underscore forms
+   would let "m0x1f" alias "m31" under a different name, breaking the
+   name round-trip (and every name-keyed identity built on it: name-based
+   [Piece.equal], fingerprint memoization, the F₂ compiler's family
+   gate).  Only the canonical decimal spelling [Printf "%d"] emits is
+   accepted: digits only, no sign, no leading zero. *)
 let parse_swizzlex name =
+  let decimal s =
+    let n = String.length s in
+    if n = 0 || (n > 1 && s.[0] = '0') then None
+    else if String.exists (fun ch -> ch < '0' || ch > '9') s then None
+    else int_of_string_opt s
+  in
   let tagged_int tag s =
     if String.length s > 1 && s.[0] = tag then
-      int_of_string_opt (String.sub s 1 (String.length s - 1))
+      decimal (String.sub s 1 (String.length s - 1))
     else None
   in
   match String.split_on_char '_' name with

@@ -54,6 +54,14 @@ val of_table : name:string -> dims:Shape.t -> (int list -> int) -> Piece.t
     "run-time permutations" remark.  Raises [Invalid_argument] if [f] is
     not a bijection onto [0 .. numel dims - 1]. *)
 
+val parse_swizzlex : string -> (int * int) option
+(** [parse_swizzlex "swizzlex_m<mask>_s<shift>"] recovers [(mask,
+    shift)] from the canonical name {!xor_swizzle_masked} assigns.  Only
+    the exact decimal spelling [Printf "%d"] produces round-trips:
+    hex/octal/underscore/signed/leading-zero forms return [None] (they
+    would alias a canonical name under a different string, breaking
+    name-keyed piece identity). *)
+
 val lookup :
   string -> Shape.t -> args:int list -> Piece.t option
 (** Registry used by the surface-syntax elaborator: [lookup name dims

@@ -1,5 +1,6 @@
 module L = Lego_layout
 module G = Lego_gpusim
+module F2 = Lego_f2
 
 type phase =
   | Shared of { elem_bytes : int; lanes : int -> int list option }
@@ -60,16 +61,26 @@ let interpret_score ~device ~apply ~ops phases =
    cache, keyed by physical equality of the phase list (the slot record
    holds one list for the whole search), domain-local because scoring
    runs inside [Exec.map] workers. *)
+type shared_phase = {
+  sp_elem : int;
+  sp_pos : int array;
+      (** Positions into [p_uniq].  Phases overlap heavily (a store
+          sweep and a load sweep cover the same tile), so each distinct
+          index is evaluated through the candidate once and the phases
+          gather from the shared value buffer. *)
+  sp_lane : (F2.Bitmat.t * int) option;
+      (** The lane-to-flat-logical-index map as an affine F₂ form, when
+          the phase drives a full warp and the map is affine — the
+          precondition for the closed-form oracle.  A property of the
+          slot, so it is recognized here, once, not per candidate. *)
+}
+
 type precomp = {
   p_phases : phase list;
   p_dims : L.Shape.t;
   p_warp : int;
   p_uniq : int array;  (** Distinct flat logical indices, all phases. *)
-  p_shared : (int * int array) list;
-      (** (elem_bytes, positions into [p_uniq]).  Phases overlap heavily
-          (a store sweep and a load sweep cover the same tile), so each
-          distinct index is evaluated through the candidate once and the
-          phases gather from the shared value buffer. *)
+  p_shared : shared_phase list;
   p_gmem_txns : int;
 }
 
@@ -97,17 +108,46 @@ let precompute ~(device : G.Device.t) ~dims phases =
       (fun (shared, txns) phase ->
         match phase with
         | Shared { elem_bytes; lanes } ->
-          let pos =
+          let flats =
             List.map
-              (fun idx -> position (L.Shape.flatten_ints dims idx))
+              (fun idx -> L.Shape.flatten_ints dims idx)
               (lanes_of lanes)
           in
-          ((elem_bytes, Array.of_list pos) :: shared, txns)
+          let pos = List.map position flats in
+          let lane =
+            if List.length flats = device.warp_size then
+              F2.Oracle.of_lanes (Array.of_list flats)
+            else None
+          in
+          ( { sp_elem = elem_bytes; sp_pos = Array.of_list pos; sp_lane = lane }
+            :: shared,
+            txns )
         | Global { elem_bytes; addrs } ->
           let addrs = lanes_of addrs in
-          ( shared,
-            if addrs = [] then txns
-            else txns + txn_count device ~elem_bytes addrs ))
+          let t =
+            if addrs = [] then 0
+            else begin
+              (* Global patterns never route through the candidate, so
+                 they are counted once here — in closed form when the
+                 warp pattern is affine (2^rank of the segment map,
+                 exactly {!Lego_gpusim.Access.txn_count}'s distinct-
+                 segment count), by enumeration otherwise. *)
+              let arr = Array.of_list addrs in
+              let closed =
+                if Array.length arr = device.warp_size then
+                  match F2.Oracle.of_lanes arr with
+                  | Some (a, _) ->
+                    F2.Oracle.txn_count ~txn_bytes:device.global_txn_bytes
+                      ~elem_bytes a
+                  | None -> None
+                else None
+              in
+              match closed with
+              | Some t -> t
+              | None -> txn_count device ~elem_bytes addrs
+            end
+          in
+          (shared, txns + t))
       ([], 0) phases
   in
   {
@@ -136,41 +176,49 @@ let batch_get n =
   if Array.length !r < n then r := Array.make n 0;
   !r
 
-let compiled_score ~(device : G.Device.t) c ~ops phases =
-  let dims = Compiled.dims c in
+let precomp_for ~(device : G.Device.t) ~dims phases =
   let cache = Domain.DLS.get precomp_cache in
-  let pc =
-    match !cache with
-    | Some pc
-      when pc.p_phases == phases && pc.p_warp = device.warp_size
-           && pc.p_dims = dims ->
-      pc
-    | _ ->
-      let pc = precompute ~device ~dims phases in
-      cache := Some pc;
-      pc
-  in
-  let nu = Array.length pc.p_uniq in
-  let vals = scratch_get nu in
+  match !cache with
+  | Some pc
+    when pc.p_phases == phases && pc.p_warp = device.warp_size
+         && pc.p_dims = dims ->
+    pc
+  | _ ->
+    let pc = precompute ~device ~dims phases in
+    cache := Some pc;
+    pc
+
+let fold_shared ~(device : G.Device.t) ~eval_vals ~cycles_of ~ops pc =
   let batch = batch_get device.warp_size in
-  for i = 0 to nu - 1 do
-    vals.(i) <- Compiled.apply_flat c pc.p_uniq.(i)
-  done;
+  let vals_ready = ref false in
+  let vals () =
+    let v = scratch_get (Array.length pc.p_uniq) in
+    if not !vals_ready then begin
+      eval_vals v;
+      vals_ready := true
+    end;
+    v
+  in
   List.fold_left
-    (fun acc (elem_bytes, pos) ->
-      let n = Array.length pos in
+    (fun acc sp ->
+      let n = Array.length sp.sp_pos in
       if n = 0 then acc
       else begin
-        for i = 0 to n - 1 do
-          batch.(i) <- vals.(pos.(i))
-        done;
+        let cycles =
+          match cycles_of sp with
+          | Some c -> c
+          | None ->
+            let v = vals () in
+            for i = 0 to n - 1 do
+              batch.(i) <- v.(sp.sp_pos.(i))
+            done;
+            G.Access.bank_cycles_arr device ~elem_bytes:sp.sp_elem batch n
+        in
         {
           acc with
           smem_phases = acc.smem_phases + 1;
           smem_accesses = acc.smem_accesses + n;
-          smem_cycles =
-            acc.smem_cycles
-            + G.Access.bank_cycles_arr device ~elem_bytes batch n;
+          smem_cycles = acc.smem_cycles + cycles;
         }
       end)
     {
@@ -182,11 +230,55 @@ let compiled_score ~(device : G.Device.t) c ~ops phases =
     }
     pc.p_shared
 
-let score ?(device = G.Device.a100) ?(compiled = true) ?weights
-    (g : L.Group_by.t) phases =
+let compiled_score ~(device : G.Device.t) c ~ops phases =
+  let pc = precomp_for ~device ~dims:(Compiled.dims c) phases in
+  fold_shared ~device ~ops pc
+    ~eval_vals:(fun vals ->
+      Array.iteri (fun i u -> vals.(i) <- Compiled.apply_flat c u) pc.p_uniq)
+    ~cycles_of:(fun _ -> None)
+
+(* Closed-form scoring of an F₂-linear candidate: each full-warp affine
+   phase composes its lane map with the candidate matrix and reads the
+   conflict multiplicity off two ranks — no per-lane evaluation at all.
+   Phases outside the affine precondition (partial warps, non-affine
+   lane maps, odd geometry) fall back to evaluating the candidate {e
+   through the matrix} and counting with the simulator's own
+   {!Lego_gpusim.Access} arithmetic, so the score stays exact — and
+   bit-identical to {!compiled_score} — in every case. *)
+let oracle_score ~(device : G.Device.t) lin ~ops ~dims phases =
+  let pc = precomp_for ~device ~dims phases in
+  fold_shared ~device ~ops pc
+    ~eval_vals:(fun vals ->
+      Array.iteri (fun i u -> vals.(i) <- F2.Linear.apply lin u) pc.p_uniq)
+    ~cycles_of:(fun sp ->
+      match sp.sp_lane with
+      | Some lane ->
+        let a, _ = F2.Oracle.compose_warp lin lane in
+        F2.Oracle.bank_cycles ~nbanks:device.smem_banks
+          ~bank_bytes:device.smem_bank_bytes ~elem_bytes:sp.sp_elem a
+      | None -> None)
+
+let linear_memo : (string, F2.Linear.t option) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let linear_of g =
+  let tbl = Domain.DLS.get linear_memo in
+  let fp = Fingerprint.of_layout g in
+  match Hashtbl.find_opt tbl fp with
+  | Some r -> r
+  | None ->
+    let r = F2.Linear.of_layout g in
+    Hashtbl.add tbl fp r;
+    r
+
+let score ?(device = G.Device.a100) ?(compiled = true) ?(oracle = false)
+    ?weights (g : L.Group_by.t) phases =
   let ops = Lego_symbolic.Cost.ops ?weights (Lego_symbolic.Sym.apply g) in
-  if compiled then compiled_score ~device (Compiled.of_layout g) ~ops phases
-  else interpret_score ~device ~apply:(L.Group_by.apply_ints g) ~ops phases
+  match if oracle then linear_of g else None with
+  | Some lin -> oracle_score ~device lin ~ops ~dims:(L.Group_by.dims g) phases
+  | None ->
+    if compiled then compiled_score ~device (Compiled.of_layout g) ~ops phases
+    else interpret_score ~device ~apply:(L.Group_by.apply_ints g) ~ops phases
 
 (* Total order used for pruning and beam survival: fewest conflict cycles
    first, then fewest global transactions, then cheapest index

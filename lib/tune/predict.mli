@@ -41,9 +41,15 @@ val bank_cycles : Lego_gpusim.Device.t -> elem_bytes:int -> int list -> int
 val txn_count : Lego_gpusim.Device.t -> elem_bytes:int -> int list -> int
 (** {!Lego_gpusim.Access.txn_count}, likewise. *)
 
+val linear_of : Lego_layout.Group_by.t -> Lego_f2.Linear.t option
+(** The candidate's affine F₂ form ({!Lego_f2.Linear.of_layout}),
+    fingerprint-memoized per domain — [Some] exactly when the oracle
+    path of {!score} applies to it. *)
+
 val score :
   ?device:Lego_gpusim.Device.t ->
   ?compiled:bool ->
+  ?oracle:bool ->
   ?weights:Lego_symbolic.Cost.weights ->
   Lego_layout.Group_by.t ->
   phase list ->
@@ -51,7 +57,16 @@ val score :
 (** [compiled] (default true) evaluates the candidate's addresses
     through {!Compiled.of_layout}; [~compiled:false] keeps the
     interpreter ([Group_by.apply_ints]) — same score either way, kept
-    for before/after benchmarking of the fast path. *)
+    for before/after benchmarking of the fast path.
+
+    [oracle] (default false) scores F₂-linear candidates in closed form
+    ({!Lego_f2.Oracle}): every full-warp affine phase costs two rank
+    computations instead of 32 address evaluations plus a conflict
+    count, and non-linear candidates (or phases outside the affine
+    precondition) silently take the [compiled]-selected path.  Scores
+    are bit-identical across all three paths — the oracle is exact, not
+    an approximation (asserted against measured simulator counters by
+    the test suite). *)
 
 val compare_ranked : score * string -> score * string -> int
 (** Lexicographic [(smem_cycles, gmem_txns, ops, fingerprint)] — a total

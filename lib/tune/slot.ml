@@ -3,7 +3,12 @@ module G = Lego_gpusim
 module F = Lego_gpusim.Fastpath
 module Sym = Lego_symbolic
 
-type sim = { time_s : float; s_accesses : float; s_cycles : float }
+type sim = {
+  time_s : float;
+  s_accesses : float;
+  s_cycles : float;
+  g_txns : float;
+}
 
 type t = {
   name : string;
@@ -17,14 +22,20 @@ type t = {
 }
 
 let sim_of_reports reports =
-  let acc, cyc =
+  let acc, cyc, txn =
     List.fold_left
-      (fun (a, c) (r : G.Simt.report) ->
+      (fun (a, c, t) (r : G.Simt.report) ->
         ( a +. r.counters.G.Simt.s_accesses,
-          c +. r.counters.G.Simt.s_cycles ))
-      (0.0, 0.0) reports
+          c +. r.counters.G.Simt.s_cycles,
+          t +. r.counters.G.Simt.g_txns ))
+      (0.0, 0.0, 0.0) reports
   in
-  { time_s = G.Metrics.sum_times_s reports; s_accesses = acc; s_cycles = cyc }
+  {
+    time_s = G.Metrics.sum_times_s reports;
+    s_accesses = acc;
+    s_cycles = cyc;
+    g_txns = txn;
+  }
 
 (* Zero shared conflicts in a finished simulation: every warp-wide shared
    round ran in one cycle.  Only meaningful when every shared round uses

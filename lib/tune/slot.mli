@@ -18,6 +18,7 @@ type sim = {
   time_s : float;  (** {!Lego_gpusim.Metrics.sum_times_s} of the run. *)
   s_accesses : float;  (** Summed shared-access lanes. *)
   s_cycles : float;  (** Summed shared bank cycles. *)
+  g_txns : float;  (** Summed global memory transactions. *)
 }
 
 type t = {

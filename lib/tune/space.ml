@@ -1,13 +1,30 @@
 module L = Lego_layout
 
-type t = { rows : int; cols : int; seed : int }
+type t = {
+  rows : int;
+  cols : int;
+  seed : int;
+  classes : bool;
+  elem_bytes : int;
+}
 
-let make ?(seed = 0) ~rows ~cols () =
+let make ?(seed = 0) ?(classes = false) ?(elem_bytes = 4) ~rows ~cols () =
   if rows <= 0 || cols <= 0 then
     invalid_arg "Space.make: extents must be positive";
-  { rows; cols; seed }
+  if elem_bytes <= 0 then
+    invalid_arg "Space.make: elem_bytes must be positive";
+  { rows; cols; seed; classes; elem_bytes }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let k = ref 0 in
+  let v = ref n in
+  while !v > 1 do
+    incr k;
+    v := !v lsr 1
+  done;
+  !k
 
 (* A candidate is always the plain 2-D logical view over some reordering
    chain, so every consumer can address it as [apply_ints g [i; j]]. *)
@@ -108,30 +125,165 @@ let tilings sp =
         cols_splits)
     rows_splits
 
+(* Bank geometry shared by every device preset (A100/H100): 32 banks of
+   4-byte words, 32-lane warps.  The class key below only needs the word
+   size and the warp width; both are fixed across the presets, so the
+   space stays a pure function of [(rows, cols, seed, elem_bytes)]. *)
+let bank_bytes = 4
+let warp_lanes = 32
+
+(* The number of bits indexing [0 .. n-1]. *)
+let num_bits n = if n <= 1 then 0 else log2 (n - 1) + 1
+
+type swizzle_class = {
+  sw_mask : int;
+  sw_shift : int;
+  sw_members : (int * int) list;
+}
+
+(* The full masked-swizzle grid for this shape: every legal mask crossed
+   with every shift that can still reach a row bit (larger shifts clear
+   the key entirely, i.e. repeat mask = 0). *)
+let swizzle_family sp =
+  if (not (is_pow2 sp.cols)) || sp.cols = 1 then []
+  else begin
+    let shifts = max 1 (num_bits sp.rows) in
+    List.concat_map
+      (fun shift -> List.init sp.cols (fun mask -> (mask, shift)))
+      (List.init shifts Fun.id)
+  end
+
+(* Provable cost-equivalence classes of the masked-swizzle family over
+   GF(2) (DESIGN.md section 12).  The swizzle xors [key(i) = (i >> shift)
+   land mask] into the column bits; as an F₂ map [K] from row bits to
+   column bits, only the rows of [K] that reach a distinct bank {e word}
+   matter — key bits below [log2 (bank_bytes / elem_bytes)] land in
+   sub-word address bits and cannot change any bank or transaction count.
+   Two members with the same pair of images
+
+     (im K̃ restricted to the warp-sweep lane bits,  im K̃)
+
+   differ by an invertible change of row-space basis that fixes the lane
+   subspace — a relabeling of which row activates which key, under which
+   every warp sweep (full-row phases are key-independent; full-column
+   phases see the same rank, hence the same coset multiplicity) costs
+   identically.  One canonical representative per class is enough for
+   the search; the collapse is exact, not heuristic (the test suite
+   checks every member of every class scores identically on the slot
+   phase lists). *)
+let swizzle_class_key sp (mask, shift) =
+  let rbits = log2 sp.rows and vbits = min (log2 sp.rows) (log2 warp_lanes) in
+  let wshift = max 0 (log2 bank_bytes - log2 sp.elem_bytes) in
+  let im limit =
+    let acc = ref 0 in
+    for b = wshift to log2 sp.cols - 1 do
+      if mask land (1 lsl b) <> 0 && b + shift < limit then
+        acc := !acc lor (1 lsl b)
+    done;
+    !acc
+  in
+  (im vbits, im rbits)
+
+let popcount x =
+  let c = ref 0 and v = ref x in
+  while !v <> 0 do
+    incr c;
+    v := !v land (!v - 1)
+  done;
+  !c
+
+let swizzle_classes sp =
+  if
+    (not (is_pow2 sp.cols))
+    || sp.cols = 1
+    || (not (is_pow2 sp.rows))
+    || not (is_pow2 sp.elem_bytes)
+  then []
+  else begin
+    (* Iterate shifts-then-masks ascending: the first member of each
+       class is its lexicographic (shift, mask) minimum — the canonical
+       representative. *)
+    let order = Hashtbl.create 64 and members = Hashtbl.create 64 in
+    let keys = ref [] in
+    List.iter
+      (fun shift ->
+        List.iter
+          (fun mask ->
+            let key = swizzle_class_key sp (mask, shift) in
+            if not (Hashtbl.mem order key) then begin
+              Hashtbl.add order key (List.length !keys);
+              keys := key :: !keys
+            end;
+            Hashtbl.add members key (mask, shift))
+          (List.init sp.cols Fun.id))
+      (List.init (max 1 (num_bits sp.rows)) Fun.id);
+    let classes =
+      List.rev_map
+        (fun key ->
+          let ms = List.rev (Hashtbl.find_all members key) in
+          let mask, shift = List.hd ms in
+          (key, { sw_mask = mask; sw_shift = shift; sw_members = ms }))
+        !keys
+    in
+    (* Highest-rank (fewest-conflict) classes first, so a tiny budget
+       still meets the conflict-free swizzle early; ties in canonical
+       representative order. *)
+    List.map snd
+      (List.stable_sort
+         (fun ((v1, f1), c1) ((v2, f2), c2) ->
+           let c = compare (popcount v2) (popcount v1) in
+           if c <> 0 then c
+           else
+             let c = compare (popcount f2) (popcount f1) in
+             if c <> 0 then c
+             else compare (c1.sw_shift, c1.sw_mask) (c2.sw_shift, c2.sw_mask))
+         classes)
+  end
+
 (* XOR-swizzle refinements: prepend a [swizzlex] GenP as the outermost
-   reordering of a swizzle-free candidate.  Prefix masks only, widest
-   (the classic full-column swizzle) first, so a tiny budget meets the
-   known-good layout early. *)
+   reordering of a swizzle-free candidate.  The default family samples
+   prefix masks only, widest (the classic full-column swizzle) first, so
+   a tiny budget meets the known-good layout early; [classes] mode
+   instead enumerates one canonical representative per provable
+   F₂ cost-equivalence class of the {e full} mask/shift grid — complete
+   coverage of the family with far fewer candidates. *)
 let swizzles sp g =
   if (not (is_pow2 sp.cols)) || sp.cols = 1 || has_gen g then []
   else begin
-    let masks =
-      let rec go m acc = if m < 1 then List.rev acc else go (m / 2) (m :: acc) in
-      go (sp.cols - 1) []
+    let pairs =
+      let class_reps =
+        if sp.classes then
+          List.filter_map
+            (fun c ->
+              (* The trivial class (no word-relevant key bit) is the
+                 parent itself, cost-wise; skip it. *)
+              if swizzle_class_key sp (c.sw_mask, c.sw_shift) = (0, 0) then None
+              else Some (c.sw_mask, c.sw_shift))
+            (swizzle_classes sp)
+        else []
+      in
+      if class_reps <> [] then class_reps
+      else
+        let masks =
+          let rec go m acc =
+            if m < 1 then List.rev acc else go (m / 2) (m :: acc)
+          in
+          go (sp.cols - 1) []
+        in
+        List.concat_map
+          (fun mask -> List.map (fun shift -> (mask, shift)) [ 0; 1; 2 ])
+          masks
     in
-    List.concat_map
-      (fun mask ->
-        List.map
-          (fun shift ->
-            L.Group_by.prepend
-              (L.Order_by.make
-                 [
-                   L.Gallery.xor_swizzle_masked ~rows:sp.rows ~cols:sp.cols
-                     ~mask ~shift;
-                 ])
-              g)
-          [ 0; 1; 2 ])
-      masks
+    List.map
+      (fun (mask, shift) ->
+        L.Group_by.prepend
+          (L.Order_by.make
+             [
+               L.Gallery.xor_swizzle_masked ~rows:sp.rows ~cols:sp.cols ~mask
+                 ~shift;
+             ])
+          g)
+      pairs
   end
 
 (* Is [g] a bare sigma root (single chain entry, single RegP covering the

@@ -12,18 +12,54 @@
       every non-trivial divisor split of each extent and every sigma
       pair;
     - {b swizzles} (children of any swizzle-free candidate, when [cols]
-      is a power of two): a prepended [swizzlex_m<mask>_s<shift>] GenP
-      with prefix masks (widest first) and shifts 0..2.
+      is a power of two): a prepended [swizzlex_m<mask>_s<shift>] GenP.
+      By default these sample prefix masks (widest first) with shifts
+      0..2; with [~classes:true] (and power-of-two [rows]) they instead
+      enumerate one canonical representative per provable F₂
+      cost-equivalence class of the {e full} mask/shift grid
+      ({!swizzle_classes}), covering the whole family with far fewer
+      candidates.
 
     Determinism contract: the generated sequence is a pure function of
-    [(rows, cols, seed)].  Seed 0 is the canonical order; a non-zero
-    seed shuffles within each family with a [Random.State] derived only
-    from [(seed, family tag)]. *)
+    [(rows, cols, seed, classes, elem_bytes)].  Seed 0 is the canonical
+    order; a non-zero seed shuffles within each family with a
+    [Random.State] derived only from [(seed, family tag)]. *)
 
 type t
 
-val make : ?seed:int -> rows:int -> cols:int -> unit -> t
-(** Raises [Invalid_argument] on non-positive extents. *)
+val make :
+  ?seed:int -> ?classes:bool -> ?elem_bytes:int -> rows:int -> cols:int ->
+  unit -> t
+(** [elem_bytes] (default 4) is the shared-memory element width the
+    class key assumes — pass the {e largest} element width among the
+    slot's shared phases, which yields the finest (hence sound for every
+    phase) class partition.  Raises [Invalid_argument] on non-positive
+    extents or [elem_bytes]. *)
+
+type swizzle_class = {
+  sw_mask : int;  (** Canonical representative: the (shift, mask)- *)
+  sw_shift : int;  (** lexicographic minimum of the class. *)
+  sw_members : (int * int) list;
+      (** Every [(mask, shift)] in the class, shift-major ascending;
+          the representative is the head. *)
+}
+
+val swizzle_family : t -> (int * int) list
+(** The full [(mask, shift)] grid for this shape: masks
+    [0 .. cols - 1] crossed with shifts [0 .. num_bits (rows - 1) - 1]
+    (shift-major).  Empty unless [cols] is a power of two [> 1]. *)
+
+val swizzle_classes : t -> swizzle_class list
+(** {!swizzle_family} partitioned into provable F₂ cost-equivalence
+    classes (DESIGN.md section 12): two members are equivalent iff their
+    key maps have the same image pair — over the word-relevant mask bits
+    (those at or above [log2 (4 / elem_bytes)]), the set of mask bits
+    that survive the shift into any row bit, and the subset surviving
+    into a warp-lane row bit.  Classes are ordered
+    highest-warp-image-rank first (fewest conflicts first), then
+    highest-full-rank, then canonical representative.  Empty unless
+    [rows], [cols] and [elem_bytes] are all powers of two with
+    [cols > 1]. *)
 
 val roots : t -> Lego_layout.Group_by.t list
 (** Generation 0: sigma roots then gallery roots. *)

@@ -10,6 +10,7 @@ type options = {
   conform : bool;
   conform_points : int;
   fastpath : bool;
+  oracle : bool;
 }
 
 let default_options =
@@ -22,6 +23,7 @@ let default_options =
     conform = true;
     conform_points = 2048;
     fastpath = true;
+    oracle = false;
   }
 
 type scored = {
@@ -38,6 +40,8 @@ type result = {
   explored : int;
   space_size : int;
   exhaustive : bool;
+  oracle_scored : int;
+  sim_scored : int;
   static_seconds : float;
   sim_seconds : float;
   candidates_per_s : float;
@@ -68,7 +72,22 @@ let search ?(options = default_options) (slot : Slot.t) =
   if options.budget < 1 then invalid_arg "Tune.search: budget must be >= 1";
   if options.top < 1 then invalid_arg "Tune.search: top must be >= 1";
   if options.beam < 1 then invalid_arg "Tune.search: beam must be >= 1";
-  let sp = Space.make ~seed:options.seed ~rows:slot.rows ~cols:slot.cols () in
+  (* Oracle mode also switches the space to F₂ class enumeration; the
+     class key must use the widest shared element among the slot's
+     phases (sub-word key bits for that element width are cost-inert
+     for every narrower one too, so the partition stays sound). *)
+  let elem_bytes =
+    List.fold_left
+      (fun acc phase ->
+        match phase with
+        | Predict.Shared { elem_bytes; _ } -> max acc elem_bytes
+        | Predict.Global _ -> acc)
+      1 slot.phases
+  in
+  let sp =
+    Space.make ~seed:options.seed ~classes:options.oracle ~elem_bytes
+      ~rows:slot.rows ~cols:slot.cols ()
+  in
   let space_size = List.length (Space.closure sp) in
   Exec.with_pool ~jobs:(max 1 options.jobs) @@ fun pool ->
   let t0 = Unix.gettimeofday () in
@@ -76,7 +95,7 @@ let search ?(options = default_options) (slot : Slot.t) =
      scored by the static predictor.  [seen] doubles as the memo-cache
      key set: a fingerprint is scored at most once. *)
   let seen = Hashtbl.create 128 in
-  let explored = ref [] and used = ref 0 in
+  let explored = ref [] and used = ref 0 and oracle_scored = ref 0 in
   let fresh gs =
     List.filter_map
       (fun g ->
@@ -92,12 +111,16 @@ let search ?(options = default_options) (slot : Slot.t) =
     let arr = Array.of_list cands in
     let scores =
       Exec.map ~pool arr (fun (_, g) ->
-          Predict.score ~compiled:options.fastpath g slot.phases)
+          ( Predict.score ~compiled:options.fastpath ~oracle:options.oracle g
+              slot.phases,
+            options.oracle && Predict.linear_of g <> None ))
     in
     let level =
       List.mapi
         (fun i (fp, g) ->
-          { layout = g; fingerprint = fp; static_score = scores.(i); sim = None })
+          let score, via_oracle = scores.(i) in
+          if via_oracle then incr oracle_scored;
+          { layout = g; fingerprint = fp; static_score = score; sim = None })
         cands
     in
     explored := List.rev_append level !explored;
@@ -183,6 +206,13 @@ let search ?(options = default_options) (slot : Slot.t) =
     explored;
     space_size;
     exhaustive = explored = space_size;
+    oracle_scored = !oracle_scored;
+    (* Candidates whose score involved address-level simulation: stage
+       one's non-oracle evaluations plus stage two's full runs.  The
+       headline economy of the F₂ path — [sim_scored] drops by the
+       number of candidates the closed form absorbed (and the class
+       space shrinks [explored] itself). *)
+    sim_scored = explored - !oracle_scored + List.length ranking;
     static_seconds;
     sim_seconds;
     candidates_per_s = (if wall > 0.0 then float_of_int explored /. wall else 0.0);
@@ -212,6 +242,9 @@ let pp_result ppf r =
     r.space_size
     (if r.exhaustive then "exhaustive" else "beam")
     (List.length r.ranking) r.candidates_per_s;
+  if r.oracle_scored > 0 then
+    Format.fprintf ppf "oracle: %d closed-form, %d address-level@,"
+      r.oracle_scored r.sim_scored;
   List.iter
     (fun (n, s) ->
       Format.fprintf ppf "baseline %-14s %.3f us@," n (s.Slot.time_s *. 1e6))

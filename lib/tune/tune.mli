@@ -32,6 +32,13 @@ type options = {
           path — same scores, same counters, same ranking; only the
           wall-clock (and so [candidates_per_s]) differs.  Kept for
           before/after benchmarking. *)
+  oracle : bool;
+      (** F₂ mode (default off): stage one scores affine-linear
+          candidates in closed form ({!Predict.score}'s [~oracle], exact
+          — bit-identical scores), and the swizzle family is enumerated
+          by GL(n, F₂) cost-equivalence class ({!Space.swizzle_classes})
+          instead of mask/shift sampling, so the {e whole} masked-swizzle
+          grid is covered with a fraction of the candidates. *)
 }
 
 val default_options : options
@@ -50,6 +57,13 @@ type result = {
   explored : int;  (** Candidates statically scored. *)
   space_size : int;  (** Size of the full candidate closure. *)
   exhaustive : bool;  (** [explored = space_size]. *)
+  oracle_scored : int;
+      (** Candidates stage one scored purely in closed form (0 unless
+          [options.oracle]). *)
+  sim_scored : int;
+      (** Candidates whose score involved address-level evaluation:
+          stage-one non-oracle scores plus stage-two simulations —
+          the denominator the F₂ path shrinks. *)
   static_seconds : float;
   sim_seconds : float;
   candidates_per_s : float;  (** [explored / (static + sim)] wall time. *)

@@ -447,9 +447,89 @@ let test_l2_hits_and_dram_relief () =
   Alcotest.(check (float 0.0)) "streaming never hits" 0.0
     stream.Simt.counters.l2_hits
 
+(* The pre-O(1) L2 replacement policy, kept verbatim as the reference:
+   unique last-use ticks, the victim is the minimum tick found by a full
+   table scan.  The rewritten recency-list cache must reproduce its
+   hit/miss sequence bit for bit (the unique-min-tick victim {e is} the
+   list head), it just stops paying O(capacity) per miss. *)
+module L2_ref = struct
+  type t = {
+    capacity : int;
+    table : (int * int, int) Hashtbl.t;
+    mutable tick : int;
+  }
+
+  let create ~capacity = { capacity; table = Hashtbl.create 64; tick = 0 }
+
+  let evict_lru t =
+    let victim =
+      Hashtbl.fold
+        (fun sector tick acc ->
+          match acc with
+          | Some (_, best) when best <= tick -> acc
+          | _ -> Some (sector, tick))
+        t.table None
+    in
+    match victim with
+    | Some (sector, _) -> Hashtbl.remove t.table sector
+    | None -> ()
+
+  let access t sector =
+    t.tick <- t.tick + 1;
+    if Hashtbl.mem t.table sector then (
+      Hashtbl.replace t.table sector t.tick;
+      true)
+    else (
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      Hashtbl.replace t.table sector t.tick;
+      false)
+end
+
+let test_l2_lru_matches_tick_scan_reference () =
+  let check ~capacity ~trace name =
+    let fast = L2.create_sized ~capacity in
+    let slow = L2_ref.create ~capacity in
+    List.iteri
+      (fun i sector ->
+        let h = L2.access fast sector and h' = L2_ref.access slow sector in
+        if h <> h' then
+          Alcotest.failf "%s: access %d (sector %d,%d): list %b, tick-scan %b"
+            name i (fst sector) (snd sector) h h')
+      trace
+  in
+  (* Deterministic eviction-heavy patterns at tiny capacity. *)
+  let seq = List.init 64 (fun i -> (0, i mod 7)) in
+  check ~capacity:4 ~trace:seq "cyclic working set > capacity";
+  check ~capacity:1 ~trace:seq "capacity 1";
+  let interleaved =
+    List.concat_map (fun i -> [ (0, i mod 5); (1, i mod 3); (0, 2) ]) (List.init 40 Fun.id)
+  in
+  check ~capacity:3 ~trace:interleaved "two buffers + a hot sector";
+  (* Seeded random traces across capacities: hit/miss sequences must be
+     identical at every step. *)
+  let st = Random.State.make [| 0xCACE; 2026 |] in
+  List.iter
+    (fun capacity ->
+      let trace =
+        List.init 2000 (fun _ ->
+            (Random.State.int st 3, Random.State.int st (3 * capacity)))
+      in
+      check ~capacity ~trace (Printf.sprintf "random trace, capacity %d" capacity))
+    [ 2; 5; 16; 64 ];
+  (* Invalid capacities are rejected. *)
+  List.iter
+    (fun capacity ->
+      Alcotest.(check bool) "bad capacity rejected" true
+        (match L2.create_sized ~capacity with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ 0; -3 ]
+
 let suite =
   ( "gpusim",
     [
+      Alcotest.test_case "L2 O(1) LRU = tick-scan reference" `Quick
+        test_l2_lru_matches_tick_scan_reference;
       Alcotest.test_case "buffers" `Quick test_buffer_basics;
       Alcotest.test_case "coalesced loads" `Quick test_coalesced_load;
       Alcotest.test_case "strided loads" `Quick test_strided_load;

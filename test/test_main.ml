@@ -9,6 +9,7 @@ let () =
       Test_lang.suite;
       Test_codegen.suite;
       Test_conform.suite;
+      Test_f2.suite;
       Test_gpusim.suite;
       Test_fastpath.suite;
       Test_apps.suite;

@@ -279,6 +279,7 @@ let toy_slot () =
       T.Slot.time_s = float_of_int (L.Group_by.apply_ints g [ 1; 2 ]);
       s_accesses = 9.0;
       s_cycles = 1.0;
+      g_txns = 0.0;
     }
   in
   {
@@ -321,6 +322,223 @@ let test_search_rejects_bad_options () =
       { T.Tune.default_options with top = 0 };
       { T.Tune.default_options with beam = -1 };
     ]
+
+(* --- Swizzle-name parsing: canonical decimal only -------------------------- *)
+
+let test_parse_swizzlex_decimal_only () =
+  (* Regression: [int_of_string_opt] accepts hex/octal/binary and
+     underscore separators, so "swizzlex_m0x1f_s0" used to alias
+     "swizzlex_m31_s0" under a different name — breaking name
+     round-trips, [Piece.equal] on re-parsed winners, and every
+     name-keyed memo.  Only the canonical decimal spelling may
+     resolve. *)
+  (match L.Gallery.parse_swizzlex "swizzlex_m31_s0" with
+  | Some (31, 0) -> ()
+  | _ -> Alcotest.fail "canonical decimal form must parse");
+  (match L.Gallery.parse_swizzlex "swizzlex_m5_s12" with
+  | Some (5, 12) -> ()
+  | _ -> Alcotest.fail "multi-digit shift must parse");
+  List.iter
+    (fun name ->
+      match L.Gallery.parse_swizzlex name with
+      | None -> ()
+      | Some (m, s) ->
+        Alcotest.failf "%S must not parse (got mask %d shift %d)" name m s)
+    [
+      "swizzlex_m0x1f_s0" (* hex alias of m31 *);
+      "swizzlex_m0o17_s0" (* octal *);
+      "swizzlex_m0b101_s0" (* binary *);
+      "swizzlex_m1_0_s0" (* underscore separator *);
+      "swizzlex_m-1_s0" (* negative *);
+      "swizzlex_m05_s0" (* leading zero *);
+      "swizzlex_m3_s00" (* leading zero in shift *);
+      "swizzlex_m_s0" (* empty mask *);
+      "swizzlex_m3_s" (* empty shift *);
+    ];
+  (* The registry path agrees: aliases do not resolve to pieces. *)
+  (match L.Gallery.lookup "swizzlex_m0x1f_s0" [ 128; 32 ] ~args:[] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "hex alias must not resolve in the gallery");
+  match L.Gallery.lookup "swizzlex_m1_0_s0" [ 128; 32 ] ~args:[] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "underscore alias must not resolve in the gallery"
+
+(* --- F2 oracle vs compiled scoring and measured counters ------------------- *)
+
+let pow2_slots () =
+  List.filter
+    (fun (s : T.Slot.t) ->
+      s.T.Slot.cols land (s.T.Slot.cols - 1) = 0 && s.T.Slot.cols > 1)
+    (T.Slot.all ())
+
+let slot_elem_bytes (slot : T.Slot.t) =
+  List.fold_left
+    (fun acc -> function
+      | T.Predict.Shared { elem_bytes; _ } -> max acc elem_bytes
+      | T.Predict.Global _ -> acc)
+    1 slot.T.Slot.phases
+
+let family_layouts (slot : T.Slot.t) =
+  let rows = slot.T.Slot.rows and cols = slot.T.Slot.cols in
+  let sp =
+    T.Space.make ~classes:true ~elem_bytes:(slot_elem_bytes slot) ~rows ~cols ()
+  in
+  ( sp,
+    List.map
+      (fun (mask, shift) ->
+        ( (mask, shift),
+          prepend_swizzle ~mask ~shift (T.Slot.row_major ~rows ~cols) ~rows
+            ~cols ))
+      (T.Space.swizzle_family sp) )
+
+(* Over the {e entire} masked-swizzle family of each power-of-two slot,
+   the closed-form oracle score must equal the compiled address-level
+   score bit for bit — the oracle is exact, not approximate. *)
+let test_oracle_score_matches_compiled_full_family () =
+  List.iter
+    (fun (slot : T.Slot.t) ->
+      let _, fam = family_layouts slot in
+      List.iter
+        (fun ((mask, shift), g) ->
+          let compiled = T.Predict.score g slot.T.Slot.phases in
+          let oracle = T.Predict.score ~oracle:true g slot.T.Slot.phases in
+          if compiled <> oracle then
+            Alcotest.failf "%s m%d_s%d: compiled %s <> oracle %s"
+              slot.T.Slot.name mask shift
+              (Format.asprintf "%a" T.Predict.pp compiled)
+              (Format.asprintf "%a" T.Predict.pp oracle);
+          (* Every family member is affine, so the oracle path must
+             actually engage (not silently fall back). *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s m%d_s%d linear" slot.T.Slot.name mask shift)
+            true
+            (T.Predict.linear_of g <> None))
+        fam)
+    (pow2_slots ())
+
+(* The oracle's per-phase cycle counts, summed over the slot's phase
+   list, must reproduce the measured simulator counters exactly: each
+   slot kernel runs every predicted phase a fixed number of times (the
+   warp-round multiplier, a structural constant of the kernel), so
+   [simulated = k * predicted] with one integer [k] across the whole
+   family — any per-member deviation would break the equality. *)
+let test_oracle_matches_measured_counters () =
+  List.iter
+    (fun (slot : T.Slot.t) ->
+      let _, fam = family_layouts slot in
+      let k = ref 0 in
+      List.iter
+        (fun ((mask, shift), g) ->
+          let sc = T.Predict.score ~oracle:true g slot.T.Slot.phases in
+          let sim = slot.T.Slot.simulate ~fast:true g in
+          let name = Printf.sprintf "%s m%d_s%d" slot.T.Slot.name mask shift in
+          let acc = int_of_float sim.T.Slot.s_accesses in
+          if acc mod sc.T.Predict.smem_accesses <> 0 then
+            Alcotest.failf "%s: %d accesses not a multiple of predicted %d"
+              name acc sc.T.Predict.smem_accesses;
+          let k' = acc / sc.T.Predict.smem_accesses in
+          if !k = 0 then k := k';
+          Alcotest.(check int) (name ^ ": warp-round multiplier") !k k';
+          Alcotest.(check int)
+            (name ^ ": measured cycles = k * predicted")
+            (!k * sc.T.Predict.smem_cycles)
+            (int_of_float sim.T.Slot.s_cycles))
+        fam;
+      (* A Simt effect-handler subsample: the fast path is bit-identical
+         by contract (and tested above), but pin a few members to the
+         reference interpreter directly. *)
+      List.iter
+        (fun ((mask, shift), g) ->
+          if (mask, shift) = (0, 0) || (mask = 7 && shift = 2) then begin
+            let sc = T.Predict.score ~oracle:true g slot.T.Slot.phases in
+            let sim = slot.T.Slot.simulate ~fast:false g in
+            Alcotest.(check int)
+              (Printf.sprintf "%s m%d_s%d: Simt cycles" slot.T.Slot.name mask
+                 shift)
+              (!k * sc.T.Predict.smem_cycles)
+              (int_of_float sim.T.Slot.s_cycles)
+          end)
+        fam)
+    (pow2_slots ())
+
+(* --- F2 equivalence classes ------------------------------------------------ *)
+
+let test_swizzle_classes_partition_and_cost_constancy () =
+  List.iter
+    (fun (slot : T.Slot.t) ->
+      let sp, fam = family_layouts slot in
+      let classes = T.Space.swizzle_classes sp in
+      (* The classes partition the full family. *)
+      let members =
+        List.concat_map (fun c -> c.T.Space.sw_members) classes
+      in
+      Alcotest.(check int)
+        (slot.T.Slot.name ^ ": classes cover the family")
+        (List.length fam) (List.length members);
+      Alcotest.(check int)
+        (slot.T.Slot.name ^ ": members are distinct")
+        (List.length members)
+        (List.length (List.sort_uniq compare members));
+      (* The collapse is real: far fewer classes than members. *)
+      Alcotest.(check bool)
+        (slot.T.Slot.name ^ ": classes < family / 4")
+        true
+        (4 * List.length classes <= List.length fam);
+      (* Every member of a class scores identically on the slot's phase
+         list — the invariant that makes searching one representative
+         per class complete. *)
+      let score_of =
+        let tbl = Hashtbl.create 256 in
+        List.iter
+          (fun (ms, g) ->
+            let s = T.Predict.score ~oracle:true g slot.T.Slot.phases in
+            Hashtbl.add tbl ms (s.T.Predict.smem_cycles, s.T.Predict.gmem_txns))
+          fam;
+        Hashtbl.find tbl
+      in
+      List.iter
+        (fun c ->
+          let rep = score_of (c.T.Space.sw_mask, c.T.Space.sw_shift) in
+          List.iter
+            (fun m ->
+              if score_of m <> rep then
+                Alcotest.failf "%s: class (m%d,s%d) member (m%d,s%d) scores differently"
+                  slot.T.Slot.name c.T.Space.sw_mask c.T.Space.sw_shift (fst m)
+                  (snd m))
+            c.T.Space.sw_members)
+        classes)
+    (pow2_slots ())
+
+(* --- Oracle-mode search ----------------------------------------------------- *)
+
+let test_oracle_search_reduction () =
+  let slot = T.Slot.matmul_smem () in
+  let base = { T.Tune.default_options with jobs = 2; conform = false } in
+  let pr6 = T.Tune.search ~options:base slot in
+  let f2 = T.Tune.search ~options:{ base with oracle = true } slot in
+  (* Both paths find a conflict-free swizzle... *)
+  Alcotest.(check bool) "f2 winner conflict-free" true
+    (T.Slot.sim_conflict_free (Option.get f2.T.Tune.winner.T.Tune.sim));
+  Alcotest.(check bool) "f2 winner as good as sampled path" true
+    ((Option.get f2.T.Tune.winner.T.Tune.sim).T.Slot.time_s
+    <= (Option.get pr6.T.Tune.winner.T.Tune.sim).T.Slot.time_s);
+  (* ...but the F2 path simulates an order of magnitude fewer candidates
+     at address level: stage one is entirely closed-form. *)
+  Alcotest.(check int) "sampled path scores nothing in closed form" 0
+    pr6.T.Tune.oracle_scored;
+  Alcotest.(check bool)
+    (Printf.sprintf "f2 sim_scored %d is >= 10x below sampled %d"
+       f2.T.Tune.sim_scored pr6.T.Tune.sim_scored)
+    true
+    (10 * f2.T.Tune.sim_scored <= pr6.T.Tune.sim_scored);
+  (* Oracle mode changes the economics, never the verdicts: winners of
+     both searches score identically under both scorers. *)
+  List.iter
+    (fun (sc : T.Tune.scored) ->
+      Alcotest.(check bool) "winner scores agree across paths" true
+        (T.Predict.score sc.T.Tune.layout slot.T.Slot.phases
+        = T.Predict.score ~oracle:true sc.T.Tune.layout slot.T.Slot.phases))
+    [ pr6.T.Tune.winner; f2.T.Tune.winner ]
 
 (* --- legoc CLI overview ---------------------------------------------------- *)
 
@@ -384,6 +602,16 @@ let suite =
         test_predict_arithmetic_matches_simt_costs;
       Alcotest.test_case "slot fast path = effect-handler path" `Quick
         test_slot_fast_matches_slow;
+      Alcotest.test_case "swizzlex names parse canonical decimal only" `Quick
+        test_parse_swizzlex_decimal_only;
+      Alcotest.test_case "oracle score = compiled score (full family)" `Quick
+        test_oracle_score_matches_compiled_full_family;
+      Alcotest.test_case "oracle predictions = measured counters" `Quick
+        test_oracle_matches_measured_counters;
+      Alcotest.test_case "swizzle classes partition + cost constancy" `Quick
+        test_swizzle_classes_partition_and_cost_constancy;
+      Alcotest.test_case "oracle search: 10x fewer simulations" `Quick
+        test_oracle_search_reduction;
       Alcotest.test_case "search deterministic across -j" `Quick
         test_search_deterministic_across_jobs;
       Alcotest.test_case "small space searched exhaustively" `Quick
