@@ -1,8 +1,8 @@
 # Tier-1 gate: the repo must build and its test suite must pass.
-.PHONY: check build test conform conform-serial f2-conform tune-smoke bench \
-	bench-json clean
+.PHONY: check build test conform conform-serial f2-conform algebra-conform \
+	tune-smoke bench bench-json clean
 
-check: build test conform f2-conform tune-smoke bench-json
+check: build test conform f2-conform algebra-conform tune-smoke bench-json
 
 build:
 	dune build
@@ -27,6 +27,13 @@ conform-serial:
 # was cross-checked against its GF(2) matrix form.
 f2-conform:
 	dune exec bin/legoc.exe -- conform --budget 10 --iters 50 -j 2 --require-f2
+
+# Random layout-algebra terms (compose / complement / divide / product,
+# side conditions discharged by the prover) through all five conformance
+# legs.  The stream is power-of-two throughout, so the F2 leg must
+# engage; --require-f2 enforces that.
+algebra-conform:
+	dune exec bin/legoc.exe -- conform --algebra 120 --iters 0 --skip-gallery --budget 20 -j 2 --require-f2
 
 # Autotuner smoke test: a tiny budget on two domains must still
 # rediscover the conflict-free XOR swizzle for the matmul staging tile

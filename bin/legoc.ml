@@ -142,6 +142,19 @@ let iters_arg =
     & info [ "iters" ] ~env ~docv:"N"
         ~doc:"Number of seeded random layouts to cross-check.")
 
+let algebra_arg =
+  let env =
+    Cmd.Env.info "CONFORM_ALGEBRA" ~doc:"Number of random algebra terms."
+  in
+  Arg.(
+    value
+    & opt int 0
+    & info [ "algebra" ] ~env ~docv:"N"
+        ~doc:
+          "Number of seeded random layout-algebra terms (compose / \
+           complement / divide / product, side conditions discharged by \
+           the prover) to cross-check.")
+
 let max_points_arg =
   Arg.(
     value
@@ -187,14 +200,14 @@ let break_simplify_flag =
            verify the harness catches and shrinks it (the run is expected \
            to fail).")
 
-let run_conform seed iters max_points budget skip_gallery require_f2
+let run_conform seed iters algebra max_points budget skip_gallery require_f2
     break_simplify jobs =
   (* Flip before any pool exists: domains spawned later see the flag and
      start with empty memo caches. *)
   if break_simplify then Lego_symbolic.Simplify.set_test_only_break_rule true;
   let report =
-    Lego_conform.Conform.run ~gallery:(not skip_gallery) ~random:iters ~seed
-      ~max_points ~budget_s:budget
+    Lego_conform.Conform.run ~gallery:(not skip_gallery) ~random:iters
+      ~algebra ~seed ~max_points ~budget_s:budget
       ~progress:(fun line -> Printf.eprintf "%s\n%!" line)
       ~jobs:(resolve_jobs jobs) ()
   in
@@ -225,8 +238,9 @@ let conform_cmd =
   Cmd.v
     (Cmd.info "conform" ~doc ~man)
     Term.(
-      const run_conform $ seed_arg $ iters_arg $ max_points_arg $ budget_arg
-      $ skip_gallery_flag $ require_f2_flag $ break_simplify_flag $ jobs_arg)
+      const run_conform $ seed_arg $ iters_arg $ algebra_arg $ max_points_arg
+      $ budget_arg $ skip_gallery_flag $ require_f2_flag $ break_simplify_flag
+      $ jobs_arg)
 
 (* ---- legoc tune: the layout autotuner --------------------------------- *)
 
@@ -298,7 +312,19 @@ let oracle_flag =
            enumerate the swizzle family by GF(2) cost-equivalence class \
            — same verdicts, far fewer address-level evaluations.")
 
-let run_tune slot_names budget top beam seed jobs expect_cf no_conform oracle =
+let composed_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "composed" ]
+        ~doc:
+          "Include the algebra-built composite candidates (masked \
+           swizzles composed with logical divides of the row-major \
+           space, side conditions discharged by the prover) as extra \
+           search roots.")
+
+let run_tune slot_names budget top beam seed jobs expect_cf no_conform oracle
+    composed =
   let jobs = resolve_jobs jobs in
   let slots =
     match slot_names with
@@ -331,6 +357,7 @@ let run_tune slot_names budget top beam seed jobs expect_cf no_conform oracle =
         jobs;
         conform = not no_conform;
         oracle;
+        composed;
       }
     in
     let ok = ref true in
@@ -379,7 +406,7 @@ let tune_cmd =
     Term.(
       const run_tune $ slots_arg $ tune_budget_arg $ tune_top_arg
       $ tune_beam_arg $ tune_seed_arg $ jobs_arg $ expect_cf_flag
-      $ no_conform_flag $ oracle_flag)
+      $ no_conform_flag $ oracle_flag $ composed_flag)
 
 let layout_cmd =
   let doc = layout_doc in

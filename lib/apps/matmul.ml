@@ -48,8 +48,22 @@ type layouts = {
 }
 
 let check_divisible cfg =
+  (* Positivity first: OCaml's [mod] lets negative multiples through
+     ((-128) mod 32 = 0), so a divisibility check alone would accept
+     negative problem or tile extents and fail much later, deep in
+     layout construction, with an unrelated message. *)
+  let pos what v =
+    if v <= 0 then
+      invalid_arg (Printf.sprintf "Matmul: %s (%d) must be positive" what v)
+  in
+  pos "M" cfg.m;
+  pos "N" cfg.n;
+  pos "K" cfg.k;
+  pos "BM" cfg.bm;
+  pos "BN" cfg.bn;
+  pos "BK" cfg.bk;
   let ok what a b =
-    if b = 0 || a mod b <> 0 then
+    if a mod b <> 0 then
       invalid_arg
         (Printf.sprintf "Matmul: %s (%d) must be divisible by its tile (%d)"
            what a b)

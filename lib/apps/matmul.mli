@@ -40,6 +40,12 @@ type layouts = {
 }
 
 val layouts : config -> variant -> layouts
+(** Raises [Invalid_argument] with a [Matmul: ...] message when the
+    configuration is degenerate: a non-positive problem or tile extent
+    (negative multiples satisfy OCaml's [mod], so they are rejected
+    explicitly), a problem extent not divisible by its tile, or a tile
+    below the kernel's 16x16 thread footprint.  The [run_*] entry points
+    validate through this same check before touching any buffer. *)
 
 val index_cost : config -> variant -> int
 (** Weighted operation count of the (simplified) generated index

@@ -108,13 +108,19 @@ let slice_mask ?(env = R.empty_env) ~group ~extents indices =
       env slice_info
   in
   let q = List.length group in
+  (* Random access below runs per dimension inside the guard loop;
+     arrays keep it linear in the rank where [List.nth] in those loops
+     was quadratic. *)
+  let group_a = Array.of_list (List.map Array.of_list group) in
+  let components_a = Array.of_list components in
+  let extents_a = Array.of_list extents in
   (* Global coordinate of dimension k: the canonical flattening of its
      per-level components. *)
   let coord k =
-    let level_extents = List.map (fun level -> List.nth level k) group in
-    let level_components =
-      List.init q (fun h -> List.nth components ((h * d) + k))
+    let level_extents =
+      List.init q (fun h -> group_a.(h).(k))
     in
+    let level_components = List.init q (fun h -> components_a.((h * d) + k)) in
     Lego_layout.Shape.flatten
       (module Lego_symbolic.Sym.Dom)
       level_extents level_components
@@ -123,14 +129,14 @@ let slice_mask ?(env = R.empty_env) ~group ~extents indices =
     List.filteri
       (fun k _ ->
         let padded_extent =
-          List.fold_left (fun acc level -> acc * List.nth level k) 1 group
+          Array.fold_left (fun acc level -> acc * level.(k)) 1 group_a
         in
-        padded_extent > List.nth extents k)
+        padded_extent > extents_a.(k))
       (List.init d Fun.id)
     |> List.map (fun k ->
            let guard =
              Lego_symbolic.Simplify.simplify ~env
-               (E.lt (coord k) (E.const (List.nth extents k)))
+               (E.lt (coord k) (E.const extents_a.(k)))
            in
            "(" ^ pr 0 guard ^ ")")
   in

@@ -186,6 +186,7 @@ type report = {
 
 let gallery_sample_seed name = Hashtbl.hash ("gallery", name)
 let random_sample_seed ~seed ~index = Hashtbl.hash ("random", seed, index)
+let algebra_sample_seed ~seed ~index = Hashtbl.hash ("algebra", seed, index)
 
 (* One unit of fan-out work: a single layout checked (and, on mismatch,
    shrunk) entirely within one domain. *)
@@ -228,8 +229,9 @@ let exec_task ?max_points ~progress ~over_budget t =
     Checked (o, failure)
   end
 
-let run ?(gallery = true) ?(random = 200) ?(seed = 42) ?max_points
-    ?(budget_s = infinity) ?(progress = fun _ -> ()) ?(jobs = 1) () =
+let run ?(gallery = true) ?(random = 200) ?(algebra = 0) ?(seed = 42)
+    ?max_points ?(budget_s = infinity) ?(progress = fun _ -> ()) ?(jobs = 1) ()
+    =
   let t0 = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t0 in
   (* The budget is checked before every layout — the gallery pass too —
@@ -260,7 +262,21 @@ let run ?(gallery = true) ?(random = 200) ?(seed = 42) ?max_points
           t_layout = (fun () -> Lgen.layout_of_seed ~seed ~index);
         })
   in
-  let tasks = Array.of_list (gallery_tasks @ random_tasks) in
+  let algebra_tasks =
+    List.init algebra (fun index ->
+        {
+          t_origin = Printf.sprintf "algebra term #%d (seed %d)" index seed;
+          t_repro =
+            Some
+              (Printf.sprintf
+                 "CONFORM_SEED=%d CONFORM_ALGEBRA=%d legoc conform --iters 0 \
+                  --skip-gallery"
+                 seed (index + 1));
+          t_sample_seed = algebra_sample_seed ~seed ~index;
+          t_layout = (fun () -> Lgen.algebra_layout_of_seed ~seed ~index);
+        })
+  in
+  let tasks = Array.of_list (gallery_tasks @ random_tasks @ algebra_tasks) in
   let results =
     Exec.with_pool ~jobs (fun pool ->
         Exec.map ~chunk:1 ~pool tasks

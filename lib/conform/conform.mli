@@ -57,6 +57,11 @@ val random_sample_seed : seed:int -> index:int -> int
     stream [seed] — a pure function of [(seed, index)], matching what a
     [CONFORM_SEED=seed CONFORM_ITERS=index+1] reproduction samples. *)
 
+val algebra_sample_seed : seed:int -> index:int -> int
+(** The point-sampling seed {!run} uses for algebra term [index] of
+    stream [seed] ({!Lgen.algebra_layout_of_seed}), matching a
+    [CONFORM_SEED=seed CONFORM_ALGEBRA=index+1] reproduction. *)
+
 type failure = {
   origin : string;  (** ["gallery: <name>"] or ["random layout #k"]. *)
   repro : string option;  (** Command line reproducing the failure. *)
@@ -79,6 +84,7 @@ type report = {
 val run :
   ?gallery:bool ->
   ?random:int ->
+  ?algebra:int ->
   ?seed:int ->
   ?max_points:int ->
   ?budget_s:float ->
@@ -86,12 +92,14 @@ val run :
   ?jobs:int ->
   unit ->
   report
-(** [run ()] checks the {!Corpus} gallery (unless [gallery:false]) and
-    then [random] (default 200) generated layouts from [seed] (default
-    42), stopping early — with [budget_exhausted] set — once [budget_s]
-    seconds (default unlimited) have elapsed.  The budget is checked
-    before {e every} layout, gallery included.  [progress] receives a
-    line per detected failure before shrinking starts.
+(** [run ()] checks the {!Corpus} gallery (unless [gallery:false]), then
+    [random] (default 200) generated layouts from [seed] (default 42),
+    then [algebra] (default 0) prover-discharged layout-algebra terms
+    ({!Lgen.algebra_layout_of_seed}) from the same seed, stopping
+    early — with [budget_exhausted] set — once [budget_s] seconds
+    (default unlimited) have elapsed.  The budget is checked before
+    {e every} layout, gallery included.  [progress] receives a line per
+    detected failure before shrinking starts.
 
     [jobs] (default 1) fans layouts out across that many domains of a
     {!Lego_exec.Exec} pool.  Each layout is generated, checked, and

@@ -115,3 +115,94 @@ let layout_of_seed ~seed ~index =
   let chain_len = Random.State.int rng 4 in
   let chain = List.init chain_len (fun _ -> gen_order_by rng n) in
   L.Group_by.make ~chain shapes
+
+(* ---- random layout-algebra terms ---------------------------------- *)
+
+module A = L.Algebra
+module D = Lego_symbolic.Discharge
+
+(* Split [bits] into exactly [rank] positive exponents. *)
+let rec split_bits rng bits rank =
+  if rank <= 1 then [ bits ]
+  else
+    let b = 1 + Random.State.int rng (bits - rank + 1) in
+    b :: split_bits rng (bits - b) (rank - 1)
+
+(* A random strided bijection on [2^bits] elements: a power-of-two shape
+   under a random dimension permutation. *)
+let gen_pow2_bijection rng bits =
+  if bits = 0 then A.id 1
+  else
+    let rank = 1 + Random.State.int rng (min 3 bits) in
+    let dims = List.map (fun b -> 1 lsl b) (split_bits rng bits rank) in
+    let sigma = pick rng (L.Sigma.all rank) in
+    match A.of_piece (L.Piece.reg ~dims ~sigma) with
+    | Some l -> l
+    | None -> assert false (* RegP pieces are always strided *)
+
+(* A tile drawn from a random subset of [a]'s own modes.  Because [a] is
+   a power-of-two bijection, any such subset satisfies the complement
+   chain conditions, so [logical_divide a (sub_tile rng a)] is admissible
+   by construction. *)
+let sub_tile rng a =
+  let modes =
+    List.filter
+      (fun (e, _) -> e > 1 && Random.State.bool rng)
+      (List.combine (A.shape a) (A.stride a))
+  in
+  match modes with
+  | [] -> A.id 1
+  | _ -> A.make ~shape:(List.map fst modes) ~stride:(List.map snd modes)
+
+(* One rewriting step.  Every candidate keeps the term a power-of-two
+   bijection, so the prover discharges each operator's side conditions by
+   construction; the [Error] fallbacks are defensive only. *)
+let algebra_step rng a =
+  match Random.State.int rng 3 with
+  | 0 -> (
+    (* Re-tile: divide by a sub-layout of [a]'s own modes. *)
+    match D.logical_divide a (sub_tile rng a) with Ok l -> l | Error _ -> a)
+  | 1 when A.size a <= 128 -> (
+    (* Repeat the whole term across a fresh outer dimension. *)
+    match D.logical_product a (A.id (pick rng [ 2; 4 ])) with
+    | Ok l -> l
+    | Error _ -> a)
+  | 1 -> a
+  | _ -> (
+    (* Permute the domain by composing with a fresh bijection. *)
+    match log2_exact (A.size a) with
+    | Some bits -> (
+      match D.compose a (gen_pow2_bijection rng bits) with
+      | Ok l -> l
+      | Error _ -> a)
+    | None -> a)
+
+let algebra_layout_of_seed ~seed ~index =
+  let rng = Random.State.make [| 0xA16E; seed; index |] in
+  let bits = 3 + Random.State.int rng 6 in
+  (* 8 .. 256 elements *)
+  let steps = Random.State.int rng 3 in
+  let l =
+    List.fold_left
+      (fun a _ -> algebra_step rng a)
+      (gen_pow2_bijection rng bits)
+      (List.init steps Fun.id)
+  in
+  let piece =
+    match D.to_piece l with
+    | Ok p -> p
+    | Error e ->
+      (* Every step preserves bijectivity, so this cannot fire. *)
+      invalid_arg
+        (Format.asprintf "Lgen.algebra_layout_of_seed: %a" A.pp_error e)
+  in
+  (* A third of the stream routes the term through a gallery bijection at
+     the piece level, exercising the composite (GenP) fallback. *)
+  let piece =
+    if Random.State.int rng 3 = 0 then
+      match D.compose_pieces (gen_piece rng (L.Piece.numel piece)) piece with
+      | Ok p -> p
+      | Error _ -> piece
+    else piece
+  in
+  L.Group_by.make ~chain:[ L.Order_by.make [ piece ] ] [ L.Piece.dims piece ]

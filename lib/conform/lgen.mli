@@ -16,3 +16,15 @@ val layout_of_seed : seed:int -> index:int -> Lego_layout.Group_by.t
 (** The [index]-th layout of the stream identified by [seed].  Each index
     draws from an independent PRNG state, so a reproduction needs only
     the pair, not the whole stream prefix. *)
+
+val algebra_layout_of_seed : seed:int -> index:int -> Lego_layout.Group_by.t
+(** The [index]-th layout of the {e algebra} stream identified by
+    [seed] — an independent stream from {!layout_of_seed}.  Each term
+    starts from a random power-of-two strided bijection and applies up
+    to two algebra operators (logical divide by a sub-tile of its own
+    modes, logical product with an identity, composition with a fresh
+    bijection), every side condition discharged by the prover; the terms
+    are admissible by construction because all extents and strides stay
+    powers of two.  A third of the stream additionally composes with a
+    random gallery piece, exercising the composite (GenP) fallback of
+    {!Lego_symbolic.Discharge.compose_pieces}. *)

@@ -17,6 +17,7 @@ type t = {
   issue_per_sm_per_cycle : int;
   kernel_launch_us : float;
   max_threads_per_block : int;
+  max_warps_per_sm : int;
 }
 
 let a100 =
@@ -39,6 +40,7 @@ let a100 =
     issue_per_sm_per_cycle = 4;
     kernel_launch_us = 3.0;
     max_threads_per_block = 1024;
+    max_warps_per_sm = 64;
   }
 
 let h100 =
@@ -61,6 +63,33 @@ let h100 =
     issue_per_sm_per_cycle = 4;
     kernel_launch_us = 3.0;
     max_threads_per_block = 1024;
+    max_warps_per_sm = 64;
+  }
+
+(* Ada consumer part: fewer resident warps per SM (48 vs the data-center
+   64), which is what makes its block-fill threshold differ from the
+   A100/H100 presets. *)
+let rtx4090 =
+  {
+    name = "RTX 4090 (simulated)";
+    num_sms = 128;
+    warp_size = 32;
+    clock_ghz = 2.52;
+    dram_bw_gbps = 1008.0;
+    l2_bytes = 72 * 1024 * 1024;
+    l2_bw_gbps = 5000.0;
+    smem_banks = 32;
+    smem_bank_bytes = 4;
+    global_txn_bytes = 32;
+    fp32_tflops = 82.6;
+    fp16_tflops = 82.6;
+    fp8_tflops = 165.2;
+    tensor_fp16_tflops = 330.3;
+    tensor_fp8_tflops = 660.6;
+    issue_per_sm_per_cycle = 4;
+    kernel_launch_us = 3.0;
+    max_threads_per_block = 1024;
+    max_warps_per_sm = 48;
   }
 
 let scale d f =

@@ -33,10 +33,19 @@ type t = {
   issue_per_sm_per_cycle : int;  (** warp instructions per SM per cycle *)
   kernel_launch_us : float;
   max_threads_per_block : int;
+  max_warps_per_sm : int;
+      (** resident-warp capacity of one SM; {!Metrics.block_fill}
+          derives its full-occupancy threshold from this instead of a
+          hardcoded warp count, so presets with smaller warp capacity
+          (e.g. {!rtx4090}) saturate with smaller blocks *)
 }
 
 val a100 : t
 val h100 : t
+
+val rtx4090 : t
+(** Ada consumer part: 48 resident warps per SM (vs 64 on A100/H100),
+    i.e. a lower block-fill saturation point. *)
 
 val scale : t -> float -> t
 (** [scale d f] multiplies every throughput of [d] by [f] (for

@@ -10,12 +10,16 @@ type breakdown = {
 
 let block_fill (d : Device.t) ~threads =
   (* Integer ceiling: a 32-thread block is exactly one warp, a 33-thread
-     block two.  A block is assumed to fill an SM when it has >= 8
-     warps; smaller blocks waste issue slots proportionally. *)
+     block two.  A block fills its share of an SM once it brings one
+     eighth of the device's resident-warp capacity (the typical
+     concurrent-block count) — 8 warps on A100/H100, 6 on RTX 4090 —
+     rather than a hardcoded 8; smaller blocks waste issue slots
+     proportionally. *)
   let warps_per_block =
     (threads + d.Device.warp_size - 1) / d.Device.warp_size
   in
-  Float.min 1.0 (float_of_int warps_per_block /. 8.0)
+  let full_warps = max 1 (d.Device.max_warps_per_sm / 8) in
+  Float.min 1.0 (float_of_int warps_per_block /. float_of_int full_warps)
 
 let breakdown (r : Simt.report) =
   let d = r.device in

@@ -22,9 +22,12 @@ type breakdown = {
 val block_fill : Device.t -> threads:int -> float
 (** [block_fill d ~threads] is the fraction of an SM's issue slots a
     block of [threads] threads keeps busy: the block's warp count
-    (integer {e ceiling} of [threads / warp_size]) over 8, clamped to
-    1.  A 32-thread block is exactly one warp (1/8), a 33-thread block
-    two (2/8). *)
+    (integer {e ceiling} of [threads / warp_size]) over the device's
+    full-occupancy threshold [max 1 (max_warps_per_sm / 8)], clamped to
+    1.  On A100/H100 (64 resident warps) the threshold is 8 — a
+    32-thread block is exactly one warp (1/8), a 33-thread block two
+    (2/8); on RTX 4090 (48 resident warps) it is 6, so 6 warps already
+    saturate. *)
 
 val breakdown : Simt.report -> breakdown
 

@@ -4,11 +4,19 @@ type perm =
   | Row of int list
   | Col of int list
 
+type aexpr =
+  | Atom of perm
+  | Strided of int list * int list
+  | Compose of aexpr * aexpr
+  | Complement of aexpr * int
+  | Divide of aexpr * aexpr
+  | Product of aexpr * aexpr
+
 type block =
-  | Order_by of perm list
+  | Order_by of aexpr list
   | Group_by of int list list
   | Tile_by of int list list
-  | Tile_order_by of perm list
+  | Tile_order_by of aexpr list
 
 type chain = block list
 
@@ -26,17 +34,26 @@ let pp_perm ppf = function
   | Row dims -> Format.fprintf ppf "Row(%a)" pp_ints dims
   | Col dims -> Format.fprintf ppf "Col(%a)" pp_ints dims
 
+let rec pp_aexpr ppf = function
+  | Atom p -> pp_perm ppf p
+  | Strided (shape, stride) ->
+    Format.fprintf ppf "Strided(%a, %a)" pp_ints shape pp_ints stride
+  | Compose (a, b) -> Format.fprintf ppf "(%a o %a)" pp_aexpr a pp_aexpr b
+  | Complement (a, m) -> Format.fprintf ppf "complement(%a, %d)" pp_aexpr a m
+  | Divide (a, b) -> Format.fprintf ppf "divide(%a, %a)" pp_aexpr a pp_aexpr b
+  | Product (a, b) -> Format.fprintf ppf "product(%a, %a)" pp_aexpr a pp_aexpr b
+
 let pp_list pp ppf l =
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
     pp ppf l
 
 let pp_block ppf = function
-  | Order_by perms -> Format.fprintf ppf "OrderBy(%a)" (pp_list pp_perm) perms
+  | Order_by exprs -> Format.fprintf ppf "OrderBy(%a)" (pp_list pp_aexpr) exprs
   | Group_by shapes -> Format.fprintf ppf "GroupBy(%a)" (pp_list pp_ints) shapes
   | Tile_by shapes -> Format.fprintf ppf "TileBy(%a)" (pp_list pp_ints) shapes
-  | Tile_order_by perms ->
-    Format.fprintf ppf "TileOrderBy(%a)" (pp_list pp_perm) perms
+  | Tile_order_by exprs ->
+    Format.fprintf ppf "TileOrderBy(%a)" (pp_list pp_aexpr) exprs
 
 let pp_chain ppf chain =
   Format.pp_print_list

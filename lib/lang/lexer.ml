@@ -41,7 +41,10 @@ let tokenize src =
       while !i < n && is_ident src.[!i] do
         advance ()
       done;
-      push (Token.IDENT (String.sub src start (!i - start))) p
+      match String.sub src start (!i - start) with
+      (* The bare word [o] is the composition operator, never a name. *)
+      | "o" -> push Token.COMPOSE p
+      | word -> push (Token.IDENT word) p
     end
     else begin
       (match c with

@@ -79,6 +79,15 @@ let split_arity pos word =
     | None ->
       fail pos (Printf.sprintf "arity suffix %s does not fit in an int" suffix)
 
+(* Rank of an algebra expression when statically evident — used only for
+   the optional OrderByN arity annotation.  Operator results have no
+   syntactic rank, so the check is skipped for them. *)
+let static_rank = function
+  | Ast.Atom (Ast.Reg_p (d, _) | Ast.Gen_p (_, d) | Ast.Row d | Ast.Col d) ->
+    Some (List.length d)
+  | Ast.Strided (shape, _) -> Some (List.length shape)
+  | Ast.Compose _ | Ast.Divide _ | Ast.Product _ | Ast.Complement _ -> None
+
 let rec parse_perm st =
   let s = peek st in
   match s.Token.token with
@@ -115,6 +124,61 @@ let rec parse_perm st =
     Ast.Col (parse_ints_to_rparen st)
   | t -> fail s.Token.pos ("expected a permutation, found " ^ Token.describe t)
 
+(* aexpr ::= aterm ('o' aterm)*  — 'o' is left-associative. *)
+and parse_aexpr st =
+  let rec infix lhs =
+    let s = peek st in
+    match s.Token.token with
+    | Token.COMPOSE ->
+      advance st;
+      let rhs = parse_aterm st in
+      infix (Ast.Compose (lhs, rhs))
+    | _ -> lhs
+  in
+  infix (parse_aterm st)
+
+and parse_aterm st =
+  let s = peek st in
+  match s.Token.token with
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_aexpr st in
+    expect st Token.RPAREN;
+    e
+  | Token.IDENT "Strided" ->
+    advance st;
+    expect st Token.LPAREN;
+    let shape = parse_shape st in
+    expect st Token.COMMA;
+    let stride = parse_shape st in
+    expect st Token.RPAREN;
+    Ast.Strided (shape, stride)
+  | Token.IDENT "complement" ->
+    advance st;
+    expect st Token.LPAREN;
+    let a = parse_aexpr st in
+    expect st Token.COMMA;
+    let m = parse_int st in
+    expect st Token.RPAREN;
+    Ast.Complement (a, m)
+  | Token.IDENT "divide" ->
+    advance st;
+    expect st Token.LPAREN;
+    let a = parse_aexpr st in
+    expect st Token.COMMA;
+    let b = parse_aexpr st in
+    expect st Token.RPAREN;
+    Ast.Divide (a, b)
+  | Token.IDENT "product" ->
+    advance st;
+    expect st Token.LPAREN;
+    let a = parse_aexpr st in
+    expect st Token.COMMA;
+    let b = parse_aexpr st in
+    expect st Token.RPAREN;
+    Ast.Product (a, b)
+  | _ -> Ast.Atom (parse_perm st)
+
 and parse_block st =
   let s = peek st in
   match s.Token.token with
@@ -132,21 +196,19 @@ and parse_block st =
     expect st Token.LPAREN;
     match base with
     | "OrderBy" ->
-      let perms = parse_comma_sep st parse_perm in
-      (* The paper's subscript is the per-tile dimensionality d. *)
+      let exprs = parse_comma_sep st parse_aexpr in
+      (* The paper's subscript is the per-tile dimensionality d; operator
+         results carry no syntactic rank, so only atoms are checked. *)
       List.iter
-        (fun p ->
-          let rank =
-            match p with
-            | Ast.Reg_p (d, _) | Ast.Gen_p (_, d) | Ast.Row d | Ast.Col d ->
-              List.length d
-          in
-          check_arity "OrderBy" rank)
-        perms;
-      Ast.Order_by perms
+        (fun e ->
+          match static_rank e with
+          | Some rank -> check_arity "OrderBy" rank
+          | None -> ())
+        exprs;
+      Ast.Order_by exprs
     | "TileOrderBy" ->
-      let perms = parse_comma_sep st parse_perm in
-      Ast.Tile_order_by perms
+      let exprs = parse_comma_sep st parse_aexpr in
+      Ast.Tile_order_by exprs
     | "GroupBy" ->
       let shapes = parse_comma_sep st parse_shape in
       List.iter (fun s -> check_arity "GroupBy" (List.length s)) shapes;

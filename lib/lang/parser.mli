@@ -5,15 +5,25 @@
 
     {v
     chain  ::= block ('.' block)*
-    block  ::= OrderByN '(' perm (',' perm)* ')'
-             | TileOrderBy '(' perm (',' perm)* ')'
+    block  ::= OrderByN '(' aexpr (',' aexpr)* ')'
+             | TileOrderBy '(' aexpr (',' aexpr)* ')'
              | GroupByN '(' shape (',' shape)* ')'
              | TileBy '(' shape (',' shape)* ')'
+    aexpr  ::= aterm ('o' aterm)*            (left-associative compose)
+    aterm  ::= perm
+             | Strided '(' shape ',' shape ')'
+             | complement '(' aexpr ',' int ')'
+             | divide '(' aexpr ',' aexpr ')'
+             | product '(' aexpr ',' aexpr ')'
+             | '(' aexpr ')'
     perm   ::= RegP '(' shape ',' shape ')'
              | GenP '(' ident shape ')'
              | Row '(' ints ')'  |  Col '(' ints ')'
     shape  ::= '[' int (',' int)* ']'
-    v} *)
+    v}
+
+    The arity annotation on [OrderByN] applies to atoms and [Strided]
+    literals; operator results have no syntactic rank and are exempt. *)
 
 exception Parse_error of Token.pos * string
 

@@ -7,6 +7,7 @@ type t =
   | RBRACKET
   | COMMA
   | DOT
+  | COMPOSE
   | EOF
 
 type pos = { line : int; col : int }
@@ -21,6 +22,7 @@ let describe = function
   | RBRACKET -> "']'"
   | COMMA -> "','"
   | DOT -> "'.'"
+  | COMPOSE -> "'o'"
   | EOF -> "end of input"
 
 let pp_pos ppf { line; col } = Format.fprintf ppf "%d:%d" line col

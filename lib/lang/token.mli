@@ -9,6 +9,7 @@ type t =
   | RBRACKET
   | COMMA
   | DOT
+  | COMPOSE  (** the bare identifier [o] — infix layout composition *)
   | EOF
 
 type pos = { line : int; col : int }

@@ -5,15 +5,17 @@ type t = {
   cols : int;
   seed : int;
   classes : bool;
+  composed : bool;
   elem_bytes : int;
 }
 
-let make ?(seed = 0) ?(classes = false) ?(elem_bytes = 4) ~rows ~cols () =
+let make ?(seed = 0) ?(classes = false) ?(composed = false) ?(elem_bytes = 4)
+    ~rows ~cols () =
   if rows <= 0 || cols <= 0 then
     invalid_arg "Space.make: extents must be positive";
   if elem_bytes <= 0 then
     invalid_arg "Space.make: elem_bytes must be positive";
-  { rows; cols; seed; classes; elem_bytes }
+  { rows; cols; seed; classes; composed; elem_bytes }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -89,9 +91,67 @@ let gallery_roots sp =
        else []);
     ]
 
+(* Algebra-built composite roots: a masked XOR swizzle composed — at the
+   piece level, through the prover-discharged layout algebra — with the
+   logical divide of the row-major space by a column tile.  The row tile
+   [(cols):(1)] divides to the identity, so its composites are the plain
+   swizzles routed through the algebra; the column tiles [(ri):(cols)]
+   interleave sub-columns under the swizzle.  Every candidate carries a
+   GenP piece, so the family is a set of leaves in the refinement dag
+   (no swizzle stacks on it). *)
+let composed sp =
+  if (not sp.composed) || (not (is_pow2 sp.cols)) || sp.cols = 1 then []
+  else begin
+    let module A = L.Algebra in
+    let module D = Lego_symbolic.Discharge in
+    let get what = function
+      | Ok v -> v
+      | Error e ->
+        invalid_arg
+          (Format.asprintf "Space.composed (%s): %a" what A.pp_error e)
+    in
+    let a = A.row [ sp.rows; sp.cols ] in
+    let tile_piece tile =
+      get "divide" (Result.bind (D.logical_divide a tile) D.to_piece)
+    in
+    let tiles =
+      A.make ~shape:[ sp.cols ] ~stride:[ 1 ]
+      :: List.filter_map
+           (fun ri ->
+             if ri > 1 && sp.rows mod ri = 0 then
+               Some (A.make ~shape:[ ri ] ~stride:[ sp.cols ])
+             else None)
+           [ 2; 4 ]
+    in
+    let masks =
+      List.filter
+        (fun m -> m > 0)
+        (List.sort_uniq compare
+           [ sp.cols - 1; (sp.cols - 1) / 2; (sp.cols - 1) / 4 ])
+    in
+    List.concat_map
+      (fun tile ->
+        let tp = tile_piece tile in
+        (* The bare divided layout, then its swizzled composites. *)
+        of_piece sp tp
+        :: List.concat_map
+             (fun mask ->
+               List.map
+                 (fun shift ->
+                   let swz =
+                     L.Gallery.xor_swizzle_masked ~rows:sp.rows ~cols:sp.cols
+                       ~mask ~shift
+                   in
+                   of_piece sp (get "compose" (D.compose_pieces swz tp)))
+                 [ 0; 1 ])
+             masks)
+      tiles
+  end
+
 let roots sp =
   shuffle sp ~tag:"roots" (sigma_roots sp) @
-  shuffle sp ~tag:"gallery" (gallery_roots sp)
+  shuffle sp ~tag:"gallery" (gallery_roots sp) @
+  shuffle sp ~tag:"composed" (composed sp)
 
 (* Non-trivial factorizations [outer * inner = n, both > 1]. *)
 let divisor_pairs n =

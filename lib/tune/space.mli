@@ -18,18 +18,24 @@
       enumerate one canonical representative per provable F₂
       cost-equivalence class of the {e full} mask/shift grid
       ({!swizzle_classes}), covering the whole family with far fewer
-      candidates.
+      candidates;
+    - {b composed} (extra roots, only with [~composed:true]): candidates
+      built by the prover-discharged layout algebra
+      ({!Lego_layout.Algebra}) — masked swizzles composed at the piece
+      level with logical divides of the row-major space by row and
+      column tiles ({!composed}).  They carry GenP pieces, so they are
+      leaves of the dag.
 
     Determinism contract: the generated sequence is a pure function of
-    [(rows, cols, seed, classes, elem_bytes)].  Seed 0 is the canonical
-    order; a non-zero seed shuffles within each family with a
+    [(rows, cols, seed, classes, composed, elem_bytes)].  Seed 0 is the
+    canonical order; a non-zero seed shuffles within each family with a
     [Random.State] derived only from [(seed, family tag)]. *)
 
 type t
 
 val make :
-  ?seed:int -> ?classes:bool -> ?elem_bytes:int -> rows:int -> cols:int ->
-  unit -> t
+  ?seed:int -> ?classes:bool -> ?composed:bool -> ?elem_bytes:int ->
+  rows:int -> cols:int -> unit -> t
 (** [elem_bytes] (default 4) is the shared-memory element width the
     class key assumes — pass the {e largest} element width among the
     slot's shared phases, which yields the finest (hence sound for every
@@ -61,8 +67,20 @@ val swizzle_classes : t -> swizzle_class list
     [rows], [cols] and [elem_bytes] are all powers of two with
     [cols > 1]. *)
 
+val composed : t -> Lego_layout.Group_by.t list
+(** The algebra-built composite family: for each tile (the contiguous
+    row tile [(cols):(1)], whose divide is the identity, and the column
+    tiles [(2):(cols)], [(4):(cols)] where they divide [rows]), the bare
+    logical divide of the row-major space plus its compositions with
+    masked XOR swizzles (prefix masks, shifts 0 and 1), every side
+    condition discharged by the prover.  Empty unless the space was made
+    with [~composed:true] and [cols] is a power of two [> 1]; raises
+    [Invalid_argument] if a discharge fails (a construction bug, since
+    the family is admissible by design). *)
+
 val roots : t -> Lego_layout.Group_by.t list
-(** Generation 0: sigma roots then gallery roots. *)
+(** Generation 0: sigma roots, then gallery roots, then — with
+    [~composed:true] — the {!composed} family. *)
 
 val children : t -> Lego_layout.Group_by.t -> Lego_layout.Group_by.t list
 (** Refinements of one candidate: its swizzle variants (swizzle-free

@@ -11,6 +11,7 @@ type options = {
   conform_points : int;
   fastpath : bool;
   oracle : bool;
+  composed : bool;
 }
 
 let default_options =
@@ -24,6 +25,7 @@ let default_options =
     conform_points = 2048;
     fastpath = true;
     oracle = false;
+    composed = false;
   }
 
 type scored = {
@@ -85,8 +87,8 @@ let search ?(options = default_options) (slot : Slot.t) =
       1 slot.phases
   in
   let sp =
-    Space.make ~seed:options.seed ~classes:options.oracle ~elem_bytes
-      ~rows:slot.rows ~cols:slot.cols ()
+    Space.make ~seed:options.seed ~classes:options.oracle
+      ~composed:options.composed ~elem_bytes ~rows:slot.rows ~cols:slot.cols ()
   in
   let space_size = List.length (Space.closure sp) in
   Exec.with_pool ~jobs:(max 1 options.jobs) @@ fun pool ->

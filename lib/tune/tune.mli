@@ -39,6 +39,11 @@ type options = {
           by GL(n, F₂) cost-equivalence class ({!Space.swizzle_classes})
           instead of mask/shift sampling, so the {e whole} masked-swizzle
           grid is covered with a fraction of the candidates. *)
+  composed : bool;
+      (** Include the {!Space.composed} roots (default off): candidates
+          built by the prover-discharged layout algebra — masked
+          swizzles composed with logical divides of the row-major
+          space. *)
 }
 
 val default_options : options

@@ -143,6 +143,135 @@ let test_mask_semantics () =
     done
   done
 
+(* --- slice_mask refactor: byte identity vs the list-based original ----- *)
+
+(* The original (pre-array) [slice_mask], kept verbatim as a reference:
+   the production version replaced its per-dimension [List.nth] walks
+   with arrays, and this test pins the refactor to byte-identical
+   output.  Internals ([components_of], [render_with_aranges]) are
+   re-embedded here since the printer does not export them. *)
+module Reference = struct
+  module E = Lego_symbolic.Expr
+  module R = Lego_symbolic.Range
+
+  let components_of indices dims =
+    let slice_count = ref 0 in
+    let components, slice_info =
+      List.fold_left2
+        (fun (components, info) index extent ->
+          match index with
+          | T.Fix e -> (e :: components, info)
+          | T.All ->
+            let k = !slice_count in
+            incr slice_count;
+            let v = T.arange_var k in
+            (E.var v :: components, (v, extent) :: info))
+        ([], []) indices dims
+    in
+    (List.rev components, List.rev slice_info)
+
+  let broadcast ~nslices k =
+    if nslices = 1 then "" else if k = 0 then "[:, None]" else "[None, :]"
+
+  let replace_all ~sub ~by text =
+    let sn = String.length sub and n = String.length text in
+    if sn = 0 then text
+    else begin
+      let buf = Buffer.create n in
+      let i = ref 0 in
+      while !i <= n - sn do
+        if String.sub text !i sn = sub then begin
+          Buffer.add_string buf by;
+          i := !i + sn
+        end
+        else begin
+          Buffer.add_char buf text.[!i];
+          incr i
+        end
+      done;
+      Buffer.add_string buf (String.sub text !i (n - !i));
+      Buffer.contents buf
+    end
+
+  let render_with_aranges ~slice_info text =
+    let nslices = List.length slice_info in
+    List.fold_left
+      (fun text (k, (v, extent)) ->
+        replace_all ~sub:v
+          ~by:
+            (Printf.sprintf "tl.arange(0, %d)%s" extent (broadcast ~nslices k))
+          text)
+      text
+      (List.mapi (fun k b -> (k, b)) slice_info)
+
+  let slice_mask ?(env = R.empty_env) ~group ~extents indices =
+    let dims = List.concat group in
+    let d = List.length extents in
+    let components, slice_info = components_of indices dims in
+    let env =
+      List.fold_left
+        (fun env (v, extent) -> R.env_add v (R.of_extent extent) env)
+        env slice_info
+    in
+    let q = List.length group in
+    let coord k =
+      let level_extents = List.map (fun level -> List.nth level k) group in
+      let level_components =
+        List.init q (fun h -> List.nth components ((h * d) + k))
+      in
+      Lego_layout.Shape.flatten
+        (module Lego_symbolic.Sym.Dom)
+        level_extents level_components
+    in
+    let terms =
+      List.filteri
+        (fun k _ ->
+          let padded_extent =
+            List.fold_left (fun acc level -> acc * List.nth level k) 1 group
+          in
+          padded_extent > List.nth extents k)
+        (List.init d Fun.id)
+      |> List.map (fun k ->
+             let guard =
+               Lego_symbolic.Simplify.simplify ~env
+                 (E.lt (coord k) (E.const (List.nth extents k)))
+             in
+             "(" ^ T.expr guard ^ ")")
+    in
+    match terms with
+    | [] -> None
+    | terms ->
+      Some (render_with_aranges ~slice_info (String.concat " & " terms))
+end
+
+let test_slice_mask_byte_identical_to_reference () =
+  let fix v = T.Fix (E.var v) in
+  let cases =
+    [
+      (* The padded tiled views the gallery corpus exercises. *)
+      ( [ [ 4; 4 ]; [ 32; 16 ] ],
+        [ 100; 50 ],
+        [ fix "pid_m"; fix "k"; T.All; T.All ] );
+      ([ [ 4; 4 ]; [ 32; 16 ] ], [ 128; 64 ], [ fix "pid_m"; fix "k"; T.All; T.All ]);
+      ([ [ 3; 2 ]; [ 8; 8 ] ], [ 20; 13 ], [ T.All; fix "pid_n"; T.All; fix "t" ]);
+      ([ [ 5 ]; [ 16 ] ], [ 70 ], [ fix "pid"; T.All ]);
+      (* Three-level hierarchy with a high rank: the shape where the
+         quadratic [List.nth] walks used to bite. *)
+      ( [ [ 2; 3; 2; 2 ]; [ 2; 2; 2; 2 ]; [ 4; 2; 3; 2 ] ],
+        [ 15; 11; 10; 7 ],
+        [ fix "a"; fix "b"; fix "c"; fix "d";
+          fix "e"; fix "f"; fix "g"; fix "h";
+          T.All; fix "i"; T.All; fix "j" ] );
+    ]
+  in
+  List.iteri
+    (fun n (group, extents, indices) ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "case %d byte-identical" n)
+        (Reference.slice_mask ~group ~extents indices)
+        (T.slice_mask ~group ~extents indices))
+    cases
+
 let suite =
   ( "affine",
     [
@@ -156,5 +285,7 @@ let suite =
       Alcotest.test_case "no mask when divisible" `Quick
         test_no_mask_when_divisible;
       Alcotest.test_case "mask semantics" `Quick test_mask_semantics;
+      Alcotest.test_case "slice_mask byte-identical to list reference" `Quick
+        test_slice_mask_byte_identical_to_reference;
     ]
     @ [ QCheck_alcotest.to_alcotest ~long:false prop_affine_strides_correct ] )

@@ -29,6 +29,30 @@ let test_matmul_rejects_partial_tiles () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_matmul_rejects_degenerate_configs () =
+  (* Every degenerate configuration must die in [check_divisible] with a
+     clear [Matmul: ...] message, not deep in layout construction — in
+     particular negative extents, which OCaml's [mod] lets through
+     ((-128) mod 32 = 0). *)
+  let rejected name cfg =
+    match Matmul.layouts cfg Matmul.NN with
+    | exception Invalid_argument msg ->
+      if not (String.length msg >= 7 && String.sub msg 0 7 = "Matmul:") then
+        Alcotest.failf "%s: unexpected message %S" name msg
+    | _ -> Alcotest.failf "%s: degenerate config accepted" name
+  in
+  let base = Matmul.default_config 128 in
+  rejected "K smaller than BK" { base with Matmul.k = 16 };
+  rejected "zero tile" { base with Matmul.bm = 0 };
+  rejected "negative M" { base with Matmul.m = -128 };
+  rejected "negative tile" { base with Matmul.bk = -32; k = -128 };
+  rejected "sub-footprint tile" { base with Matmul.bm = 8; m = 64 };
+  (* The boundary case stays accepted. *)
+  Alcotest.(check bool) "square 128 accepted" true
+    (match Matmul.layouts base Matmul.NN with
+    | _ -> true
+    | exception Invalid_argument _ -> false)
+
 let test_matmul_systems_comparable () =
   (* Figure 12a: LEGO within a few percent of the Triton reference. *)
   let cfg = Matmul.default_config 2048 in
@@ -142,6 +166,8 @@ let suite =
       Alcotest.test_case "matmul numerics (4 variants)" `Quick
         test_matmul_numerics;
       Alcotest.test_case "matmul layouts" `Quick test_matmul_layout_shapes;
+      Alcotest.test_case "matmul rejects degenerate configs" `Quick
+        test_matmul_rejects_degenerate_configs;
       Alcotest.test_case "matmul rejects partial tiles" `Quick
         test_matmul_rejects_partial_tiles;
       Alcotest.test_case "fig 12a: LEGO ~ Triton" `Slow

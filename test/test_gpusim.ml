@@ -327,6 +327,25 @@ let test_block_fill_ceiling () =
   Alcotest.(check (float 0.0)) "256 threads = 8 warps = full" 1.0
     (Metrics.block_fill d ~threads:256)
 
+let test_block_fill_derived_from_device () =
+  (* The fill threshold is max_warps_per_sm / 8, not a hardcoded 8:
+     presets with the same warp capacity agree everywhere, and the
+     RTX 4090 (48 resident warps -> threshold 6) saturates earlier. *)
+  List.iter
+    (fun threads ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "a100 = h100 at %d threads" threads)
+        (Metrics.block_fill Device.a100 ~threads)
+        (Metrics.block_fill Device.h100 ~threads))
+    [ 32; 6 * 32; 8 * 32; 1024 ];
+  (* 6 warps: 6/8 of an A100 SM, but a full RTX 4090 SM. *)
+  Alcotest.(check (float 0.0)) "a100 at 6 warps" (6.0 /. 8.0)
+    (Metrics.block_fill Device.a100 ~threads:(6 * 32));
+  Alcotest.(check (float 0.0)) "rtx4090 at 6 warps" 1.0
+    (Metrics.block_fill Device.rtx4090 ~threads:(6 * 32));
+  Alcotest.(check (float 0.0)) "rtx4090 at 3 warps" (3.0 /. 6.0)
+    (Metrics.block_fill Device.rtx4090 ~threads:(3 * 32))
+
 let test_sampling_spans_grid () =
   (* Proportional stride: with 100 blocks and 40 samples the old
      truncating step (100/40 = 2) stranded blocks 79..99; the sample
@@ -559,6 +578,8 @@ let suite =
         test_breakdown_exact_values;
       Alcotest.test_case "bugfix: block_fill integer ceiling" `Quick
         test_block_fill_ceiling;
+      Alcotest.test_case "bugfix: block_fill threshold from device" `Quick
+        test_block_fill_derived_from_device;
       Alcotest.test_case "bugfix: sampling spans the grid tail" `Quick
         test_sampling_spans_grid;
       Alcotest.test_case "bugfix: raising kernel leaves counters untouched"

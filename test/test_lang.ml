@@ -68,6 +68,59 @@ let test_parse_errors () =
   expect_error "OrderBy99999999999999999999999(Row(2,2)).GroupBy([4])"
     "does not fit"
 
+let test_parse_algebra () =
+  (* product(a, b) of strided literals: the 2x2 transpose. *)
+  let g =
+    parse_ok "OrderBy(product(Strided([2],[2]), Strided([2],[1]))).GroupBy([2,2])"
+  in
+  let col = parse_ok "OrderBy(Col(2,2)).GroupBy([2,2])" in
+  Alcotest.(check bool) "product = Col" true (Group_by.equal g col);
+  (* The worked divide example: column tiles of the row-major 8x4 image. *)
+  let d = parse_ok "OrderBy(divide(Row(8,4), Strided([4],[4]))).GroupBy([32])" in
+  Alcotest.(check (result unit string)) "divide is a bijection" (Ok ())
+    (Check.layout d);
+  Alcotest.(check int) "first tile walks a column" 12 (Group_by.apply_ints d [ 3 ]);
+  Alcotest.(check int) "next tile starts at the next column" 1
+    (Group_by.apply_ints d [ 4 ]);
+  (* Infix composition through a gallery bijection stays a bijection and
+     agrees with composing the pieces by hand. *)
+  let c = parse_ok "OrderBy(GenP(antidiag[4,4]) o RegP([4,4],[2,1])).GroupBy([4,4])" in
+  Alcotest.(check (result unit string)) "composite is a bijection" (Ok ())
+    (Check.layout c);
+  let anti = Gallery.antidiag 4 in
+  let tile = Piece.reg ~dims:[ 4; 4 ] ~sigma:(Sigma.of_one_based [ 2; 1 ]) in
+  Shape.indices [ 4; 4 ]
+  |> Seq.iter (fun idx ->
+         let expect =
+           Piece.apply_ints anti
+             (Shape.unflatten_ints [ 4; 4 ] (Piece.apply_ints tile idx))
+         in
+         Alcotest.(check int) "composite apply" expect (Group_by.apply_ints c idx));
+  (* Composition is read left-associatively. *)
+  let l = parse_ok "OrderBy(Row(4,4) o Col(4,4) o Row(4,4)).GroupBy([4,4])" in
+  let r = parse_ok "OrderBy((Row(4,4) o Col(4,4)) o Row(4,4)).GroupBy([4,4])" in
+  Alcotest.(check bool) "left associative" true (Group_by.equal l r)
+
+let test_algebra_errors () =
+  let expect_error text fragment =
+    match Lego_lang.Elab.layout_of_string text with
+    | Ok _ -> Alcotest.failf "%S should not elaborate" text
+    | Error msg ->
+      if
+        not
+          (Str.string_match
+             (Str.regexp (".*" ^ Str.quote fragment ^ ".*"))
+             msg 0)
+      then Alcotest.failf "%S: error %S lacks %S" text msg fragment
+  in
+  (* A failed side condition surfaces as the prover's positioned error. *)
+  expect_error "OrderBy(Row(2,3) o Strided([2],[2])).GroupBy([6])"
+    "left-divisibility";
+  expect_error "OrderBy(Strided([2],[2])).GroupBy([2])" "bijectivity";
+  expect_error "OrderBy(divide(Row(4,2), Strided([3],[1]))).GroupBy([8])" "size";
+  expect_error "OrderBy(complement(GenP(antidiag[3,3]), 81)).GroupBy([9,9])"
+    "not a strided layout"
+
 let test_arity_suffixes_optional () =
   let with_suffix = parse_ok "OrderBy2(Row(6, 6)).GroupBy2([6,6])" in
   let without = parse_ok "OrderBy(Row(6, 6)).GroupBy([6,6])" in
@@ -108,6 +161,8 @@ let suite =
       Alcotest.test_case "sugar notation" `Quick test_parse_sugar;
       Alcotest.test_case "Row/Col" `Quick test_parse_row_col;
       Alcotest.test_case "errors are reported" `Quick test_parse_errors;
+      Alcotest.test_case "algebra operators" `Quick test_parse_algebra;
+      Alcotest.test_case "algebra errors" `Quick test_algebra_errors;
       Alcotest.test_case "arity suffixes optional" `Quick
         test_arity_suffixes_optional;
     ]

@@ -3,6 +3,7 @@ let () =
     [
       Test_exec.suite;
       Test_layout.suite;
+      Test_algebra.suite;
       Test_symbolic.suite;
       Test_simplify_fuzz.suite;
       Test_affine.suite;

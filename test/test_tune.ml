@@ -309,6 +309,44 @@ let test_small_space_is_exhaustive () =
   Alcotest.(check bool) "ranking sorted" true
     (List.sort compare times = times)
 
+(* --- Algebra-built composed candidates ------------------------------------- *)
+
+(* The composed family (masked swizzles composed with logical divides
+   through the prover-discharged algebra) must contain a member that
+   costs exactly the known conflict-free full-mask swizzle, and a search
+   over the composed-extended space must still land on a conflict-free
+   winner for the matmul slot. *)
+let test_composed_space_rediscovers_swizzle () =
+  let slot = T.Slot.matmul_smem () in
+  let rows = slot.T.Slot.rows and cols = slot.T.Slot.cols in
+  let sp = T.Space.make ~composed:true ~rows ~cols () in
+  let family = T.Space.composed sp in
+  Alcotest.(check bool) "composed family non-empty" true (family <> []);
+  (* The swizzled composites are GenP leaves (no swizzle stacks on
+     them); the bare divides stay strided RegP candidates. *)
+  Alcotest.(check bool) "family contains GenP composites" true
+    (List.exists T.Space.has_gen family);
+  Alcotest.(check bool) "family contains strided divides" true
+    (List.exists (fun g -> not (T.Space.has_gen g)) family);
+  let sim g = (slot.T.Slot.simulate ~fast:true g).T.Slot.time_s in
+  let swz_time =
+    sim
+      (prepend_swizzle ~mask:(cols - 1) ~shift:0
+         (T.Slot.row_major ~rows ~cols)
+         ~rows ~cols)
+  in
+  Alcotest.(check bool) "a composed member matches the swizzle cost" true
+    (List.exists (fun g -> sim g = swz_time) family);
+  let options = { (search_opts 2) with T.Tune.composed = true } in
+  let r = T.Tune.search ~options slot in
+  Alcotest.(check bool) "winner predicted conflict-free" true
+    (T.Predict.conflict_free r.T.Tune.winner.T.Tune.static_score);
+  Alcotest.(check bool) "winner simulated conflict-free" true
+    (T.Slot.sim_conflict_free (Option.get r.T.Tune.winner.T.Tune.sim));
+  (* Without the flag the composed family stays out of the space. *)
+  Alcotest.(check (list bool)) "family gated by the flag" []
+    (List.map (fun _ -> true) (T.Space.composed (T.Space.make ~rows ~cols ())))
+
 let test_search_rejects_bad_options () =
   let slot = toy_slot () in
   List.iter
@@ -616,6 +654,8 @@ let suite =
         test_search_deterministic_across_jobs;
       Alcotest.test_case "small space searched exhaustively" `Quick
         test_small_space_is_exhaustive;
+      Alcotest.test_case "composed space rediscovers the swizzle" `Quick
+        test_composed_space_rediscovers_swizzle;
       Alcotest.test_case "bad options rejected" `Quick
         test_search_rejects_bad_options;
       Alcotest.test_case "CLI overview lists subcommands" `Quick
