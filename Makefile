@@ -1,8 +1,9 @@
 # Tier-1 gate: the repo must build and its test suite must pass.
 .PHONY: check build test conform conform-serial f2-conform algebra-conform \
-	tune-smoke bench bench-json clean
+	tune-smoke tune-scale bench bench-json clean
 
-check: build test conform f2-conform algebra-conform tune-smoke bench-json
+check: build test conform f2-conform algebra-conform tune-smoke tune-scale \
+	bench-json
 
 build:
 	dune build
@@ -40,6 +41,15 @@ algebra-conform:
 # (and its winner must pass the four-semantics conformance check).
 tune-smoke:
 	dune exec bin/legoc.exe -- tune matmul --budget 48 --top 6 -j 2 --expect-conflict-free
+
+# Mega-space smoke: --scale crosses the full product axes (three-level
+# tilings x vectorization x the whole masked-swizzle grid, >= 1e5
+# distinct candidates on the matmul shape).  The stream must drain
+# through the successive-halving funnel under the default scale budget
+# (wall-clock well under a minute, ranking memory O(top-K)) and still
+# rediscover the conflict-free swizzle at -j 2.
+tune-scale:
+	dune exec bin/legoc.exe -- tune matmul --scale -j 2 --expect-conflict-free
 
 bench:
 	dune exec bench/main.exe

@@ -264,15 +264,31 @@ let tune_top_arg =
   Arg.(
     value
     & opt int T.Tune.default_options.T.Tune.top
-    & info [ "top" ] ~docv:"K"
-        ~doc:"Statically best survivors run through the full simulator.")
+    & info [ "top"; "top-k" ] ~docv:"K"
+        ~doc:
+          "Size of the bounded top-K retained by the static pass and \
+           run through the full simulator.")
 
-let tune_beam_arg =
+let tune_sample_arg =
   Arg.(
     value
-    & opt int T.Tune.default_options.T.Tune.beam
-    & info [ "beam" ] ~docv:"W"
-        ~doc:"Beam width: candidates refined per exploration level.")
+    & opt int T.Tune.default_options.T.Tune.sample
+    & info [ "sample" ] ~docv:"W"
+        ~doc:
+          "Width of the sampled-simulation rung of the funnel; 0 \
+           (default) selects 4*K in --scale mode and disables the rung \
+           otherwise.")
+
+let scale_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "scale" ]
+        ~doc:
+          "Mega-space mode: cross the full tiling x vectorization x \
+           swizzle product axes (~1.8e5 candidates on matmul), stream \
+           them through the staged funnel with O(K) ranking memory.  \
+           Unless --budget is given explicitly, raises it to 250000.")
 
 let tune_seed_arg =
   let env =
@@ -323,9 +339,15 @@ let composed_flag =
            space, side conditions discharged by the prover) as extra \
            search roots.")
 
-let run_tune slot_names budget top beam seed jobs expect_cf no_conform oracle
-    composed =
+let run_tune slot_names budget top sample seed jobs expect_cf no_conform oracle
+    composed scale =
   let jobs = resolve_jobs jobs in
+  (* --scale without an explicit --budget would silently search a tiny
+     prefix of the mega-space; raise the default to cover it. *)
+  let budget =
+    if scale && budget = T.Tune.default_options.T.Tune.budget then 250_000
+    else budget
+  in
   let slots =
     match slot_names with
     | [] -> Ok (T.Slot.all ())
@@ -352,18 +374,23 @@ let run_tune slot_names budget top beam seed jobs expect_cf no_conform oracle
         T.Tune.default_options with
         T.Tune.budget;
         top;
-        beam;
+        sample;
         seed;
         jobs;
         conform = not no_conform;
         oracle;
         composed;
+        scale;
       }
     in
+    (* One cache for the whole invocation: re-tuned slots (repeated on
+       the command line, or shared across modes) reuse static scores
+       and sim results instead of recomputing. *)
+    let cache = T.Cache.create () in
     let ok = ref true in
     List.iter
       (fun s ->
-        let r = T.Tune.search ~options s in
+        let r = T.Tune.search ~options ~cache s in
         Format.printf "%a@." T.Tune.pp_result r;
         (match T.Tune.conform_ok r with
         | Some false -> ok := false
@@ -386,6 +413,9 @@ let run_tune slot_names budget top beam seed jobs expect_cf no_conform oracle
           end
         end)
       slots;
+    if T.Cache.hits cache > 0 then
+      Printf.printf "cache: %d hits / %d misses (%d entries)\n"
+        (T.Cache.hits cache) (T.Cache.misses cache) (T.Cache.length cache);
     if !ok then 0 else 1
 
 let tune_cmd =
@@ -394,19 +424,22 @@ let tune_cmd =
       `S Manpage.s_description;
       `P
         "Searches a seeded, deterministic space of LEGO layouts (sigma \
-         permutations, two-level tilings, XOR-swizzle families) for each \
-         kernel slot: a cheap static bank-conflict/coalescing predictor \
-         prunes the space, the survivors run the full SIMT simulator, \
-         and the winner is cross-checked by the conformance harness.  \
-         Results are bit-identical for any --jobs.";
+         permutations, tilings, XOR-swizzle families — with --scale, \
+         the full tiling x vectorization x swizzle product space, \
+         streamed lazily) for each kernel slot: a cheap static \
+         bank-conflict/coalescing predictor prunes the stream into a \
+         bounded top-K, a sampled-simulation rung halves the survivors, \
+         the finalists run the full SIMT simulator, and the winner is \
+         cross-checked by the conformance harness.  Results are \
+         bit-identical for any --jobs.";
     ]
   in
   Cmd.v
     (Cmd.info "tune" ~doc:tune_doc ~man)
     Term.(
       const run_tune $ slots_arg $ tune_budget_arg $ tune_top_arg
-      $ tune_beam_arg $ tune_seed_arg $ jobs_arg $ expect_cf_flag
-      $ no_conform_flag $ oracle_flag $ composed_flag)
+      $ tune_sample_arg $ tune_seed_arg $ jobs_arg $ expect_cf_flag
+      $ no_conform_flag $ oracle_flag $ composed_flag $ scale_flag)
 
 let layout_cmd =
   let doc = layout_doc in

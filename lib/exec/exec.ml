@@ -60,9 +60,22 @@ let worker pool () =
     end
   done
 
-let create ?jobs () =
+(* Spawning more domains than the machine has cores is a strict loss
+   for this pool: OCaml 5 minor collections are stop-the-world
+   handshakes across every running domain, so oversubscribed workers
+   add GC synchronization and OS timeslicing without adding
+   parallelism (the cause of the nw j2 < j1 regression measured on a
+   single-core host).  [create] therefore clamps the number of
+   {e spawned} domains to the hardware count; the pool still reports
+   the requested [jobs] (the determinism contract makes results
+   independent of how many domains actually run). *)
+let create ?jobs ?(oversubscribe = false) () =
   let size = match jobs with Some j -> j | None -> default_jobs () in
   if size < 1 then invalid_arg "Exec.create: jobs must be >= 1";
+  let spawned =
+    if oversubscribe then size - 1
+    else min (size - 1) (max 0 (Domain.recommended_domain_count () - 1))
+  in
   let pool =
     {
       size;
@@ -77,7 +90,7 @@ let create ?jobs () =
       busy = false;
     }
   in
-  pool.domains <- List.init (size - 1) (fun _ -> Domain.spawn (worker pool));
+  pool.domains <- List.init spawned (fun _ -> Domain.spawn (worker pool));
   pool
 
 let shutdown pool =
@@ -88,8 +101,8 @@ let shutdown pool =
   List.iter Domain.join pool.domains;
   pool.domains <- []
 
-let with_pool ?jobs f =
-  let pool = create ?jobs () in
+let with_pool ?jobs ?oversubscribe f =
+  let pool = create ?jobs ?oversubscribe () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
 (* One slot per task: the task's value or its captured exception. *)
@@ -111,7 +124,12 @@ let map ?chunk ~pool xs f =
       match chunk with
       | Some c when c >= 1 -> c
       | Some _ -> invalid_arg "Exec.map: chunk must be >= 1"
-      | None -> max 1 (n / (8 * pool.size))
+      (* Adaptive default: n / (8 * jobs) amortizes cursor traffic, but
+         on mega-batches an uncapped chunk lets one slow chunk strand
+         the batch tail on a single worker; 1024 keeps >= 8 steals per
+         worker beyond ~8k tasks while tiny batches still get chunk 1
+         (perfect balance for few expensive sims). *)
+      | None -> max 1 (min 1024 (n / (8 * pool.size)))
     in
     let slots = Array.make n Pending in
     let cursor = Atomic.make 0 in

@@ -35,26 +35,40 @@ val default_jobs : unit -> int
     environment variable when set to a positive integer, otherwise
     [Domain.recommended_domain_count ()]. *)
 
-val create : ?jobs:int -> unit -> pool
-(** [create ()] spawns a pool of [jobs] (default {!default_jobs})
-    workers, including the caller.  Raises [Invalid_argument] when
-    [jobs < 1]. *)
+val create : ?jobs:int -> ?oversubscribe:bool -> unit -> pool
+(** [create ()] makes a pool of [jobs] (default {!default_jobs})
+    workers, including the caller.  The number of domains actually
+    {e spawned} is clamped to [Domain.recommended_domain_count () - 1]:
+    oversubscribing a host strictly loses here, because OCaml 5 minor
+    collections are stop-the-world handshakes across all running
+    domains, so extra domains add GC synchronization and timeslicing
+    without adding parallelism.  The clamp never changes results (the
+    determinism contract holds at any domain count) — only wall-clock.
+    [~oversubscribe:true] disables the clamp (used by tests exercising
+    multi-domain interleavings on small hosts).  Raises
+    [Invalid_argument] when [jobs < 1]. *)
 
 val jobs : pool -> int
-(** The pool's worker count (>= 1), counting the calling domain. *)
+(** The pool's {e requested} worker count (>= 1), counting the calling
+    domain — not reduced by the hardware clamp, so callers can key
+    determinism-relevant decisions (none exist today) and reporting on
+    the configured [-j]. *)
 
 val shutdown : pool -> unit
 (** Join every worker domain.  Idempotent.  The pool must not be used
     afterwards. *)
 
-val with_pool : ?jobs:int -> (pool -> 'a) -> 'a
+val with_pool : ?jobs:int -> ?oversubscribe:bool -> (pool -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool, shutting it down on exit
     (normal or exceptional). *)
 
 val map : ?chunk:int -> pool:pool -> 'a array -> ('a -> 'b) -> 'b array
 (** [map ~pool xs f] computes [Array.map f xs] across the pool's
     domains under the determinism contract above.  [chunk] (default:
-    [length / (8 * jobs)], at least 1) is the number of consecutive
-    indices a worker claims at a time.  Only the domain that created
-    the pool may call [map], and not from inside a task of the same
-    pool (both raise [Invalid_argument]). *)
+    [length / (8 * jobs)] clamped to [1 .. 1024]) is the number of
+    consecutive indices a worker claims at a time — the cap keeps
+    mega-batches stealing finely enough that one slow chunk cannot
+    strand the tail, while tiny batches degrade to chunk 1 (one steal
+    per expensive task).  Only the domain that created the pool may
+    call [map], and not from inside a task of the same pool (both
+    raise [Invalid_argument]). *)

@@ -1,0 +1,60 @@
+(* Reusable scoring cache, persisting across slot searches in one run.
+
+   Keys are (slot name, fingerprint digest): the static score and the
+   sims depend on the slot's phase list and kernel, so identical
+   layouts under different slots must not collide, while repeated
+   searches of the same slot (re-tuning with different budgets, the
+   CLI tuning several shapes that share a slot) hit.
+
+   Concurrency contract (the tuner's): [find] is a pure read and is
+   the only operation a parallel section may call; [ensure] and the
+   tallies mutate and run only between parallel sections.  Entries are
+   mutable records so a rung can fill in the field it computed without
+   re-hashing. *)
+
+type entry = {
+  mutable static_ : Predict.score option;
+  mutable linear : bool option;
+      (* [Some l]: F₂-linearity was decided, and [static_] came from the
+         oracle path iff [l].  A static score cached by a non-oracle
+         search is still exact for an oracle search (the paths are
+         bit-identical) — but only reusable once linearity is known,
+         because the oracle search counts oracle-scored candidates. *)
+  mutable sampled : Slot.sim option;
+  mutable full : Slot.sim option;
+}
+
+type t = {
+  tbl : (string * string, entry) Hashtbl.t;
+  max_entries : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let default_max_entries = 1 lsl 18
+
+let create ?(max_entries = default_max_entries) () =
+  if max_entries < 0 then invalid_arg "Cache.create: max_entries < 0";
+  { tbl = Hashtbl.create 1024; max_entries; hits = 0; misses = 0 }
+
+let find t ~slot ~fp_digest = Hashtbl.find_opt t.tbl (slot, fp_digest)
+
+let fresh () = { static_ = None; linear = None; sampled = None; full = None }
+
+(* At capacity the returned entry is transient (filled by the caller,
+   then dropped): the cache degrades to a no-op rather than growing
+   without bound under a 10⁶-candidate stream. *)
+let ensure t ~slot ~fp_digest =
+  match Hashtbl.find_opt t.tbl (slot, fp_digest) with
+  | Some e -> e
+  | None ->
+    let e = fresh () in
+    if Hashtbl.length t.tbl < t.max_entries then
+      Hashtbl.add t.tbl (slot, fp_digest) e;
+    e
+
+let note_hits t n = t.hits <- t.hits + n
+let note_misses t n = t.misses <- t.misses + n
+let hits t = t.hits
+let misses t = t.misses
+let length t = Hashtbl.length t.tbl

@@ -10,3 +10,12 @@ let of_layout (g : L.Group_by.t) : string =
   Format.asprintf "%a" L.Group_by.pp g
 
 let compare = String.compare
+
+(* At mega-space scale (10^5-10^6 candidates) retaining every printed
+   fingerprint for deduplication costs ~100-200 bytes each; the 16-byte
+   MD5 of the printed form keys the same identity (collisions over a
+   10^6-candidate space are vanishingly improbable) at a tenth of the
+   memory.  [digest g = Digest.string (of_layout g)] by definition, so
+   callers that already hold the printed fingerprint can derive the key
+   without re-printing. *)
+let digest (g : L.Group_by.t) : string = Digest.string (of_layout g)

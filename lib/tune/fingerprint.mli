@@ -8,3 +8,11 @@
 
 val of_layout : Lego_layout.Group_by.t -> string
 val compare : string -> string -> int
+
+val digest : Lego_layout.Group_by.t -> string
+(** The 16-byte [Digest.string] (MD5) of {!of_layout} — the
+    bounded-memory identity key the streaming enumerator and
+    {!Cache} use at 10⁵–10⁶ candidates, where retaining full printed
+    fingerprints would dominate the deduplication set.  Callers already
+    holding the printed fingerprint can compute the same key with
+    [Digest.string fp]. *)

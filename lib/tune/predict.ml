@@ -261,23 +261,63 @@ let oracle_score ~(device : G.Device.t) lin ~ops ~dims phases =
 let linear_memo : (string, F2.Linear.t option) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
-let linear_of g =
-  let tbl = Domain.DLS.get linear_memo in
-  let fp = Fingerprint.of_layout g in
-  match Hashtbl.find_opt tbl fp with
-  | Some r -> r
+let linear_of ?(memoize = true) g =
+  if not memoize then F2.Linear.of_layout g
+  else begin
+    let tbl = Domain.DLS.get linear_memo in
+    let fp = Fingerprint.of_layout g in
+    match Hashtbl.find_opt tbl fp with
+    | Some r -> r
+    | None ->
+      let r = F2.Linear.of_layout g in
+      Hashtbl.add tbl fp r;
+      r
+  end
+
+(* Per-dimension decomposition of the symbolic op count.  A chain stage
+   contributes the same index arithmetic whatever the other stages are,
+   so the op cost of a candidate decomposes (up to the constant glue the
+   default weights assign to composition, which is identical for every
+   candidate of a family) into a sum of per-stage costs.  At mega-space
+   scale candidates share stages heavily — every member of a swizzle
+   grid shares its base tiling, every tiling shares pieces — so
+   memoizing per {e stage} instead of per candidate turns the dominant
+   [Sym.apply]+[Cost.ops] cost into a table hit for all but the first
+   carrier of each stage.  The decomposition is a ranking surrogate, not
+   the exact whole-layout count; [score ?ops] lets the funnel choose it
+   explicitly while every other caller keeps the exact count. *)
+let stage_memo : (string, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let stage_ops (o : L.Order_by.t) =
+  let wrap = L.Group_by.make ~chain:[ o ] [ [ L.Order_by.numel o ] ] in
+  let key = Fingerprint.of_layout wrap in
+  let tbl = Domain.DLS.get stage_memo in
+  match Hashtbl.find_opt tbl key with
+  | Some n -> n
   | None ->
-    let r = F2.Linear.of_layout g in
-    Hashtbl.add tbl fp r;
-    r
+    let n = Lego_symbolic.Cost.ops (Lego_symbolic.Sym.apply wrap) in
+    Hashtbl.add tbl key n;
+    n
+
+let decomposed_ops (g : L.Group_by.t) =
+  match L.Group_by.chain g with
+  | [] -> Lego_symbolic.Cost.ops (Lego_symbolic.Sym.apply g)
+  | chain -> List.fold_left (fun acc o -> acc + stage_ops o) 0 chain
 
 let score ?(device = G.Device.a100) ?(compiled = true) ?(oracle = false)
-    ?weights (g : L.Group_by.t) phases =
-  let ops = Lego_symbolic.Cost.ops ?weights (Lego_symbolic.Sym.apply g) in
-  match if oracle then linear_of g else None with
+    ?(memoize = true) ?ops ?weights (g : L.Group_by.t) phases =
+  let ops =
+    match ops with
+    | Some n -> n
+    | None -> Lego_symbolic.Cost.ops ?weights (Lego_symbolic.Sym.apply g)
+  in
+  match if oracle then linear_of ~memoize g else None with
   | Some lin -> oracle_score ~device lin ~ops ~dims:(L.Group_by.dims g) phases
   | None ->
-    if compiled then compiled_score ~device (Compiled.of_layout g) ~ops phases
+    if compiled then
+      let c = if memoize then Compiled.of_layout g else Compiled.compile g in
+      compiled_score ~device c ~ops phases
     else interpret_score ~device ~apply:(L.Group_by.apply_ints g) ~ops phases
 
 (* Total order used for pruning and beam survival: fewest conflict cycles

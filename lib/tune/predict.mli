@@ -41,15 +41,39 @@ val bank_cycles : Lego_gpusim.Device.t -> elem_bytes:int -> int list -> int
 val txn_count : Lego_gpusim.Device.t -> elem_bytes:int -> int list -> int
 (** {!Lego_gpusim.Access.txn_count}, likewise. *)
 
-val linear_of : Lego_layout.Group_by.t -> Lego_f2.Linear.t option
+val linear_of :
+  ?memoize:bool -> Lego_layout.Group_by.t -> Lego_f2.Linear.t option
 (** The candidate's affine F₂ form ({!Lego_f2.Linear.of_layout}),
     fingerprint-memoized per domain — [Some] exactly when the oracle
-    path of {!score} applies to it. *)
+    path of {!score} applies to it.  [~memoize:false] bypasses the
+    table in both directions (no lookup, no insert): at mega-space
+    scale the per-candidate memo would grow without bound while almost
+    never hitting (the stream visits each fingerprint once). *)
+
+val stage_ops : Lego_layout.Order_by.t -> int
+(** Symbolic op count of one chain stage in isolation (default
+    {!Lego_symbolic.Cost.weights}), memoized per domain by the stage's
+    printed form.  The building block of {!decomposed_ops}. *)
+
+val decomposed_ops : Lego_layout.Group_by.t -> int
+(** Per-dimension decomposition of the op count: the sum of
+    {!stage_ops} over the candidate's chain (the exact whole-layout
+    count when the chain is empty).  Candidates sharing a tile prefix —
+    every member of a swizzle grid over one base tiling, every tiling
+    sharing pieces — reuse each stage's cost from the table, so at
+    mega-space scale the dominant symbolic evaluation happens once per
+    {e stage} instead of once per candidate.  A ranking surrogate: it
+    drops the constant cross-stage glue cost (identical across a
+    family, so family-internal order is preserved) — feed it to [score
+    ?ops] where throughput matters, keep the default exact count
+    elsewhere. *)
 
 val score :
   ?device:Lego_gpusim.Device.t ->
   ?compiled:bool ->
   ?oracle:bool ->
+  ?memoize:bool ->
+  ?ops:int ->
   ?weights:Lego_symbolic.Cost.weights ->
   Lego_layout.Group_by.t ->
   phase list ->
@@ -66,7 +90,15 @@ val score :
     precondition) silently take the [compiled]-selected path.  Scores
     are bit-identical across all three paths — the oracle is exact, not
     an approximation (asserted against measured simulator counters by
-    the test suite). *)
+    the test suite).
+
+    [memoize] (default true) controls the domain-local per-candidate
+    tables ({!linear_of}, [Compiled.of_layout]); [~memoize:false]
+    compiles and linearizes directly, for streaming callers that visit
+    each candidate once and must keep memory bounded.  [ops], when
+    given, replaces the symbolic op count (use {!decomposed_ops} for
+    the shared-prefix fast path); the bank/transaction arithmetic is
+    unaffected. *)
 
 val compare_ranked : score * string -> score * string -> int
 (** Lexicographic [(smem_cycles, gmem_txns, ops, fingerprint)] — a total

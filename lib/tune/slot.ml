@@ -17,6 +17,7 @@ type t = {
   cols : int;
   phases : Predict.phase list;
   simulate : fast:bool -> L.Group_by.t -> sim;
+  simulate_sampled : (fast:bool -> L.Group_by.t -> sim) option;
   baselines : (string * sim Lazy.t) list;
   full_warps : bool;
 }
@@ -126,15 +127,20 @@ let matmul_smem ?(device = G.Device.a100) () =
                           saddr ((p * 32) + ctx.tx) ((4 * ctx.ty) + co));
                     ]))))
   in
-  let simulate ~fast g =
+  (* All four blocks run the identical program (no block-dependent
+     address anywhere), so the sampled rung simulates one block — same
+     per-warp rounds, a quarter of the work, and it may share the full
+     run's summary-cache key because the cache is per (key, op, warp). *)
+  let simulate_blocks ?sample_blocks ~fast g =
     let r =
-      launch ~fast ~device ~smem_dtype:G.Mem.F16
+      launch ~fast ~device ~smem_dtype:G.Mem.F16 ?sample_blocks
         ~key:("matmul:" ^ Fingerprint.of_layout g)
         ~grid:(4, 1) ~block:(32, 8) ~smem_words:(rows * cols)
         (program ~fast g)
     in
     sim_of_reports [ r ]
   in
+  let simulate ~fast g = simulate_blocks ~fast g in
   let phases =
     List.init 32 (fun r ->
         Predict.Shared { elem_bytes = 2; lanes = (fun t -> Some [ r; t ]) })
@@ -148,6 +154,8 @@ let matmul_smem ?(device = G.Device.a100) () =
     cols;
     phases;
     simulate;
+    simulate_sampled =
+      Some (fun ~fast g -> simulate_blocks ~sample_blocks:1 ~fast g);
     baselines =
       [ ("row-major", lazy (simulate ~fast:true (row_major ~rows ~cols))) ];
     full_warps = true;
@@ -228,9 +236,13 @@ let transpose_smem ?(device = G.Device.a100) () =
                      wo (oaddr oj oi) );
              ]))
   in
-  let simulate ~fast g =
+  (* Shared addresses are block-independent; only the global streams
+     vary with (bx, by), and they are sampled-and-scaled by the grid
+     sampler either way, so one block instead of four ranks sampled
+     candidates on the same structure at a quarter of the work. *)
+  let simulate_blocks ~sample_blocks ~fast g =
     let r =
-      launch ~fast ~device ~sample_blocks:4
+      launch ~fast ~device ~sample_blocks
         ~key:("transpose:" ^ Fingerprint.of_layout g)
         ~grid:(size / t, size / t)
         ~block:(t, rows_per_iter) ~smem_words:(rows * cols)
@@ -238,6 +250,7 @@ let transpose_smem ?(device = G.Device.a100) () =
     in
     sim_of_reports [ r ]
   in
+  let simulate ~fast g = simulate_blocks ~sample_blocks:4 ~fast g in
   let phases =
     List.init rows (fun ti ->
         Predict.Shared { elem_bytes = 4; lanes = (fun t -> Some [ ti; t ]) })
@@ -251,6 +264,8 @@ let transpose_smem ?(device = G.Device.a100) () =
     cols;
     phases;
     simulate;
+    simulate_sampled =
+      Some (fun ~fast g -> simulate_blocks ~sample_blocks:1 ~fast g);
     baselines =
       [
         ( "naive",
@@ -368,27 +383,41 @@ let nw_smem ?(device = G.Device.a100) () =
                  );
              ]))
   in
-  let simulate_with ~fast ~key ~sbuff ~ac =
+  (* [diags] selects which of the 2nb-1 wavefront launches to run, in
+     ascending order (the L2 state threads through them).  The full
+     simulation runs them all; the sampled rung runs only the widest
+     diagonal (dv = nb-1, every block active) — the shared-conflict
+     structure is identical on every diagonal (addresses are
+     block-independent), so one launch ranks candidates on the same
+     signal at 1/(2nb-1) of the work. *)
+  let simulate_with ~fast ~key ~sbuff ~ac diags =
     let d = ref 0 and ti_lo = ref 0 in
     let prog = program ~sbuff ~ac ~d ~ti_lo in
     let reports = ref [] in
-    for dv = 0 to (2 * nb) - 2 do
-      d := dv;
-      ti_lo := max 0 (dv - nb + 1);
-      let ti_hi = min dv (nb - 1) in
-      let blocks = ti_hi - !ti_lo + 1 in
-      let r =
-        launch ~fast ~device ~sample_blocks:2 ~key ~grid:(blocks, 1)
-          ~block:(b, 1) ~smem_words prog
-      in
-      reports := r :: !reports
-    done;
+    List.iter
+      (fun dv ->
+        d := dv;
+        ti_lo := max 0 (dv - nb + 1);
+        let ti_hi = min dv (nb - 1) in
+        let blocks = ti_hi - !ti_lo + 1 in
+        let r =
+          launch ~fast ~device ~sample_blocks:2 ~key ~grid:(blocks, 1)
+            ~block:(b, 1) ~smem_words prog
+        in
+        reports := r :: !reports)
+      diags;
     sim_of_reports (List.rev !reports)
   in
+  let all_diags = List.init ((2 * nb) - 1) Fun.id in
   let simulate ~fast g =
     let sbuff = layout_addr ~fast ~name:"nw" ~rows ~cols g in
     simulate_with ~fast ~key:("nw:" ^ Fingerprint.of_layout g) ~sbuff
-      ~ac:(addr_ops g)
+      ~ac:(addr_ops g) all_diags
+  in
+  let simulate_sampled ~fast g =
+    let sbuff = layout_addr ~fast ~name:"nw" ~rows ~cols g in
+    simulate_with ~fast ~key:("nw:" ^ Fingerprint.of_layout g) ~sbuff
+      ~ac:(addr_ops g) [ nb - 1 ]
   in
   (* Wavefront step [s]: active lane [t] updates cell (t+1, s-t+1) from
      its west, north and north-west neighbours.  Sample a mid and a full
@@ -426,6 +455,7 @@ let nw_smem ?(device = G.Device.a100) () =
     cols;
     phases;
     simulate;
+    simulate_sampled = Some simulate_sampled;
     baselines =
       [
         ("row-major", lazy (simulate ~fast:true (row_major ~rows ~cols)));

@@ -32,6 +32,15 @@ type t = {
       (** Full simulation of the kernel with the candidate layout;
           [fast] selects the warp-vectorized path or the effect-handler
           reference (bit-identical counters). *)
+  simulate_sampled : (fast:bool -> Lego_layout.Group_by.t -> sim) option;
+      (** Cheap sampled simulation for the funnel's middle rung: the
+          same kernel on a grid / launch subset chosen so the shared
+          conflict structure is fully represented (one block of the
+          uniform matmul grid, one transpose tile, nw's widest
+          diagonal).  Its absolute numbers are {e not} comparable to
+          [simulate]'s — it ranks candidates for promotion, never
+          reports.  [None] means the slot has no cheaper granularity
+          and the funnel promotes straight to full simulation. *)
   baselines : (string * sim Lazy.t) list;
       (** Named reference layouts (forced at most once). *)
   full_warps : bool;

@@ -7,15 +7,16 @@ type t = {
   classes : bool;
   composed : bool;
   elem_bytes : int;
+  scale : bool;
 }
 
 let make ?(seed = 0) ?(classes = false) ?(composed = false) ?(elem_bytes = 4)
-    ~rows ~cols () =
+    ?(scale = false) ~rows ~cols () =
   if rows <= 0 || cols <= 0 then
     invalid_arg "Space.make: extents must be positive";
   if elem_bytes <= 0 then
     invalid_arg "Space.make: elem_bytes must be positive";
-  { rows; cols; seed; classes; composed; elem_bytes }
+  { rows; cols; seed; classes; composed; elem_bytes; scale }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -362,22 +363,163 @@ let children sp g =
   let tl = if is_sigma_root g then shuffle sp ~tag:"tilings" (tilings sp) else [] in
   sw @ tl
 
-let closure sp =
-  let seen = Hashtbl.create 64 in
-  let acc = ref [] in
-  let push g =
-    let fp = Fingerprint.of_layout g in
-    if Hashtbl.mem seen fp then false
-    else begin
-      Hashtbl.add seen fp ();
-      acc := g :: !acc;
-      true
-    end
-  in
-  let rec levels frontier =
-    match List.filter push frontier with
-    | [] -> ()
-    | fresh -> levels (List.concat_map (children sp) fresh)
-  in
-  levels (roots sp);
-  List.rev !acc
+(* ---- Streaming enumeration (the mega-space path) ----------------------
+
+   Everything below generates candidates {e lazily}: the full scale
+   product space (10^5-10^6 layouts on the matmul shape) is never
+   materialized — the consumer pulls candidates one at a time, and the
+   only per-space state is the 16-byte-digest dedup set.  The sequence
+   is a pure function of the space record: re-traversing a stream from
+   the start rebuilds a fresh dedup table inside the outer thunk, so
+   every traversal yields the identical sequence. *)
+
+(* Breadth-first levels of the refinement dag, as a lazy sequence,
+   duplicates included.  Unlike the old eager closure this expands the
+   children of duplicate frontier entries too — [children] is a pure
+   function of the candidate, so those children are themselves
+   duplicates of ones generated earlier in the level and the {e
+   deduplicated} sequence is unchanged; levels still empty out because
+   only swizzle-free candidates have children and no child is
+   swizzle-free. *)
+let rec bfs_levels sp frontier =
+  fun () ->
+    match frontier with
+    | [] -> Seq.Nil
+    | _ ->
+      Seq.append
+        (List.to_seq frontier)
+        (fun () -> bfs_levels sp (List.concat_map (children sp) frontier) ())
+        ()
+
+(* Ordered factorizations of [n] into exactly [k] factors, all > 1
+   (level-major: the head is the outermost tile extent). *)
+let rec factorizations n k =
+  if k <= 1 then if n > 1 then [ [ n ] ] else []
+  else
+    List.concat_map
+      (fun (d, rest) ->
+        List.map (fun f -> d :: f) (factorizations rest (k - 1)))
+      (divisor_pairs n)
+
+(* Three-level tilings: [TileOrderBy(P1, P2, P3)] over every ordered
+   3-factorization of each extent and every sigma triple — the deep
+   hierarchy axis of the scale space. *)
+let deep_tilings sp =
+  let sigmas = L.Sigma.all 2 in
+  List.concat_map
+    (fun rf ->
+      List.concat_map
+        (fun cf ->
+          let levels = List.combine rf cf in
+          List.concat_map
+            (fun s1 ->
+              List.concat_map
+                (fun s2 ->
+                  List.map
+                    (fun s3 ->
+                      view2 sp
+                        (L.Sugar.tile_order_by
+                           (List.map2
+                              (fun (r, c) s -> L.Piece.reg ~dims:[ r; c ] ~sigma:s)
+                              levels [ s1; s2; s3 ])))
+                    sigmas)
+                sigmas)
+            sigmas)
+        (factorizations sp.cols 3))
+    (factorizations sp.rows 3)
+
+(* Vectorization-width tilings: one dimension split off as a contiguous
+   innermost vector ([1; v] along columns, [w; 1] along rows) under each
+   outer sigma — the register/LDGSTS-width axis.  [tilings] never emits
+   these (it requires both extents of a level to be non-trivial). *)
+let vector_tilings sp =
+  let sigmas = L.Sigma.all 2 in
+  let id2 = L.Sigma.identity 2 in
+  let widths n = List.map fst (divisor_pairs n) in
+  List.concat_map
+    (fun v ->
+      List.map
+        (fun so ->
+          view2 sp
+            (L.Sugar.tile_order_by
+               [
+                 L.Piece.reg ~dims:[ sp.rows; sp.cols / v ] ~sigma:so;
+                 L.Piece.reg ~dims:[ 1; v ] ~sigma:id2;
+               ]))
+        sigmas)
+    (widths sp.cols)
+  @ List.concat_map
+      (fun w ->
+        List.map
+          (fun so ->
+            view2 sp
+              (L.Sugar.tile_order_by
+                 [
+                   L.Piece.reg ~dims:[ sp.rows / w; sp.cols ] ~sigma:so;
+                   L.Piece.reg ~dims:[ w; 1 ] ~sigma:id2;
+                 ]))
+          sigmas)
+      (widths sp.rows)
+
+(* The scale product axes: every swizzle-free base (sigma roots,
+   two-level, three-level and vectorization tilings) crossed with the
+   {e full} masked-swizzle grid (every mask >= 1, every shift — not the
+   prefix-mask sample [swizzles] takes).  Generated lazily base by
+   base; overlaps with the sampled closure are removed by the dedup
+   wrapper downstream.  Mask 0 is excluded: it prepends a stage that is
+   the identity map under a new name, a structural near-duplicate with
+   no cost signal. *)
+let scale_stream sp =
+  if not sp.scale then Seq.empty
+  else begin
+    let bases =
+      shuffle sp ~tag:"scale-bases"
+        (sigma_roots sp @ tilings sp @ deep_tilings sp @ vector_tilings sp)
+    in
+    let pairs =
+      shuffle sp ~tag:"scale-grid"
+        (List.filter (fun (mask, _) -> mask > 0) (swizzle_family sp))
+    in
+    Seq.concat_map
+      (fun base ->
+        Seq.cons base
+          (Seq.map
+             (fun (mask, shift) ->
+               L.Group_by.prepend
+                 (L.Order_by.make
+                    [
+                      L.Gallery.xor_swizzle_masked ~rows:sp.rows ~cols:sp.cols
+                        ~mask ~shift;
+                    ])
+                 base)
+             (List.to_seq pairs)))
+      (List.to_seq bases)
+  end
+
+(* Digest-keyed deduplication.  The table lives inside the outermost
+   thunk: each traversal-from-the-start gets a fresh table (so streams
+   are re-traversable), while a partially consumed tail continues with
+   the table its traversal built.  Keys are {!Fingerprint.digest} — 16
+   bytes per distinct candidate, the only O(space)-sized state of a
+   streaming search. *)
+let dedup seq =
+  fun () ->
+    let seen = Hashtbl.create 1024 in
+    let rec go s () =
+      match s () with
+      | Seq.Nil -> Seq.Nil
+      | Seq.Cons (g, tl) ->
+        let d = Fingerprint.digest g in
+        if Hashtbl.mem seen d then go tl ()
+        else begin
+          Hashtbl.add seen d ();
+          Seq.Cons (g, go tl)
+        end
+    in
+    go seq ()
+
+let stream sp =
+  dedup (Seq.append (bfs_levels sp (roots sp)) (scale_stream sp))
+
+let count sp = Seq.length (stream sp)
+let closure sp = List.of_seq (stream sp)

@@ -26,20 +26,32 @@
       column tiles ({!composed}).  They carry GenP pieces, so they are
       leaves of the dag.
 
+    With [~scale:true] the space additionally crosses product axes on
+    top of the sampled dag — ordered three-level tilings
+    ([TileOrderBy(P1, P2, P3)] over every 3-factorization of each
+    extent and every sigma triple), vectorization-width tilings (one
+    dimension split off as a contiguous innermost [1; v] / [w; 1]
+    vector), and the {e full} masked-swizzle grid (every mask >= 1
+    crossed with every shift) prepended to every swizzle-free base —
+    which lifts the matmul shape from ~1.6 x 10³ to ~1.8 x 10⁵ distinct
+    candidates.  The scale space is only ever generated {e lazily}
+    through {!stream} / {!count}; {!closure} would materialize it.
+
     Determinism contract: the generated sequence is a pure function of
-    [(rows, cols, seed, classes, composed, elem_bytes)].  Seed 0 is the
-    canonical order; a non-zero seed shuffles within each family with a
-    [Random.State] derived only from [(seed, family tag)]. *)
+    [(rows, cols, seed, classes, composed, elem_bytes, scale)].  Seed 0
+    is the canonical order; a non-zero seed shuffles within each family
+    with a [Random.State] derived only from [(seed, family tag)]. *)
 
 type t
 
 val make :
   ?seed:int -> ?classes:bool -> ?composed:bool -> ?elem_bytes:int ->
-  rows:int -> cols:int -> unit -> t
+  ?scale:bool -> rows:int -> cols:int -> unit -> t
 (** [elem_bytes] (default 4) is the shared-memory element width the
     class key assumes — pass the {e largest} element width among the
     slot's shared phases, which yields the finest (hence sound for every
-    phase) class partition.  Raises [Invalid_argument] on non-positive
+    phase) class partition.  [scale] (default false) turns on the
+    product axes above.  Raises [Invalid_argument] on non-positive
     extents or [elem_bytes]. *)
 
 type swizzle_class = {
@@ -88,10 +100,30 @@ val children : t -> Lego_layout.Group_by.t -> Lego_layout.Group_by.t list
     May emit candidates already generated elsewhere — callers
     de-duplicate by {!Fingerprint.of_layout}. *)
 
+val stream : t -> Lego_layout.Group_by.t Seq.t
+(** Every candidate of the space, {e lazily}: the breadth-first closure
+    of {!roots} under {!children} first (in exactly the order the eager
+    closure enumerated), followed — with [~scale:true] — by the scale
+    product axes (three-level tilings, vectorization widths, every
+    swizzle-free base crossed with the full mask >= 1 swizzle grid).
+    De-duplicated by {!Fingerprint.digest}, so no two elements of the
+    sequence have equal fingerprints and a layout reachable through two
+    axes is generated once.  The only memory proportional to the space
+    is the 16-byte-per-candidate dedup set, built as the consumer
+    pulls; re-traversing the stream from the start rebuilds it, and
+    every traversal yields the identical sequence (the determinism
+    contract above). *)
+
+val count : t -> int
+(** Number of distinct candidates — one full traversal of {!stream},
+    nothing retained beyond the dedup set. *)
+
 val closure : t -> Lego_layout.Group_by.t list
-(** Every reachable candidate, breadth-first from {!roots}, de-duplicated
-    by fingerprint — the space the exhaustive strategy enumerates, and
-    the denominator of the tuner's coverage report. *)
+(** [List.of_seq (stream t)] — every reachable candidate, breadth-first
+    from {!roots}, de-duplicated by fingerprint: the space the
+    exhaustive strategy enumerates, and the denominator of the tuner's
+    coverage report.  Materializes the sequence; prefer {!stream} /
+    {!count} on [~scale:true] spaces. *)
 
 val has_gen : Lego_layout.Group_by.t -> bool
 (** Whether any piece of the chain is a [GenP] (used to keep swizzles

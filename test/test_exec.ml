@@ -6,8 +6,12 @@ module X = Lego_exec.Exec
 
 exception Boom of int
 
+(* [oversubscribe:true] in the interleaving-sensitive tests: the pool
+   clamps spawned domains to the hardware count, so on a small host a
+   plain ~jobs:4 pool would degrade to the sequential path and stop
+   exercising multi-domain scheduling at all. *)
 let test_map_preserves_order () =
-  X.with_pool ~jobs:4 (fun pool ->
+  X.with_pool ~jobs:4 ~oversubscribe:true (fun pool ->
       let n = 1000 in
       let xs = Array.init n (fun i -> i) in
       let ys = X.map ~pool xs (fun i -> (i * i) + 1) in
@@ -32,7 +36,7 @@ let test_map_empty_and_jobs1 () =
         (Array.to_list ys))
 
 let test_exception_lowest_index_and_no_abort () =
-  X.with_pool ~jobs:4 (fun pool ->
+  X.with_pool ~jobs:4 ~oversubscribe:true (fun pool ->
       let n = 200 in
       let ran = Atomic.make 0 in
       let xs = Array.init n (fun i -> i) in
@@ -86,6 +90,23 @@ let test_misuse_guards () =
   | _ -> Alcotest.fail "map after shutdown must be rejected"
   | exception Invalid_argument _ -> ()
 
+let test_hardware_clamp_preserves_semantics () =
+  (* A pool far wider than any host still reports its requested size,
+     and produces exactly the same merged results as an oversubscribed
+     pool of the same width — the clamp is a scheduling detail, not an
+     observable one. *)
+  let xs = Array.init 500 (fun i -> i) in
+  let clamped =
+    X.with_pool ~jobs:32 (fun pool ->
+        Alcotest.(check int) "requested size reported" 32 (X.jobs pool);
+        X.map ~pool xs (fun i -> (i * 3) - 1))
+  in
+  let oversub =
+    X.with_pool ~jobs:32 ~oversubscribe:true (fun pool ->
+        X.map ~pool xs (fun i -> (i * 3) - 1))
+  in
+  Alcotest.(check bool) "identical results" true (clamped = oversub)
+
 let test_default_jobs_env () =
   let saved = Sys.getenv_opt "LEGO_JOBS" in
   let restore () =
@@ -112,6 +133,8 @@ let suite =
       Alcotest.test_case "pool reuse across batches" `Quick
         test_pool_reuse_across_batches;
       Alcotest.test_case "misuse guards" `Quick test_misuse_guards;
+      Alcotest.test_case "hardware clamp preserves semantics" `Quick
+        test_hardware_clamp_preserves_semantics;
       Alcotest.test_case "default_jobs reads LEGO_JOBS" `Quick
         test_default_jobs_env;
     ] )
