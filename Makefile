@@ -1,9 +1,9 @@
 # Tier-1 gate: the repo must build and its test suite must pass.
 .PHONY: check build test conform conform-serial f2-conform algebra-conform \
-	tune-smoke tune-scale bench bench-json clean
+	tune-smoke tune-scale serve-smoke bench bench-json clean
 
 check: build test conform f2-conform algebra-conform tune-smoke tune-scale \
-	bench-json
+	serve-smoke bench-json
 
 build:
 	dune build
@@ -51,15 +51,25 @@ tune-smoke:
 tune-scale:
 	dune exec bin/legoc.exe -- tune matmul --scale -j 2 --expect-conflict-free
 
+# Compile-service smoke test: boots the daemon on a scratch socket and
+# db, drives a scripted client through cold misses, an in-batch
+# duplicate hit, one tuner run and a warm replay where everything must
+# hit the store, then shuts it down cleanly.
+serve-smoke:
+	dune exec bin/legoc.exe -- serve --oneshot -j 2
+
 bench:
 	dune exec bench/main.exe
 
-# Autotune throughput benchmark with machine-readable output: refreshes
-# BENCH_tune.json (candidates/s on the fast path vs the effect-handler
-# path, plus winner timings) and enforces the tune assertions — the
-# >= 10x fast-path floor among them.
+# Autotune + compile-service benchmarks with machine-readable output:
+# refreshes BENCH_tune.json (candidates/s on the fast path vs the
+# effect-handler path, plus winner timings) and BENCH_serve.json
+# (daemon req/s, cold/warm hit rates, batch p50/p99, warm-tune
+# speedup), enforcing each harness's assertions — the >= 10x floors
+# among them.
 bench-json:
 	dune exec bench/main.exe -- tune -j 2 --json BENCH_tune.json
+	dune exec bench/main.exe -- serve -j 2 --json BENCH_serve.json
 
 clean:
 	dune clean

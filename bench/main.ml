@@ -600,6 +600,222 @@ let tune () =
     List.iter (fun f -> Printf.eprintf "FAIL: %s\n" f) (List.rev fs);
     exit 1
 
+(* ---- Compile service: req/s, hit rates, latency ------------------------- *)
+
+module Sv = Lego_serve
+
+(* Drives a real daemon (spawned domain, Unix socket, framed batches)
+   with a seeded adversarial request mix — skewed layout popularity,
+   in-batch duplicates, malformed layouts, unknown devices — twice: a
+   cold pass against an empty store and a warm pass repeating the
+   identical mix.  Reports sustained req/s, per-batch p50/p99 latency,
+   compile hit rates for both passes, and the cold-vs-warm latency of a
+   tune request (the warm one is answered from the store with zero
+   simulator work — asserted >= 10x faster). *)
+let serve_bench () =
+  header "Compile service: sustained req/s, hit rates, latency (lib/serve)";
+  let dir = Filename.temp_dir "lego-bench-serve" "" in
+  let socket = Filename.concat dir "legoc.sock" in
+  let db = Filename.concat dir "store.db" in
+  let sjobs = max 2 !jobs in
+  (* The server owns its Exec pool, so the whole server lives in the
+     spawned domain; this domain plays a real client over the socket. *)
+  let server =
+    Domain.spawn (fun () ->
+        let t = Sv.Server.create ~db ~jobs:sjobs () in
+        Fun.protect
+          ~finally:(fun () -> Sv.Server.shutdown t)
+          (fun () -> Sv.Server.serve t ~socket))
+  in
+  let c =
+    match Sv.Client.connect ~socket () with
+    | Ok c -> c
+    | Error e ->
+      Printf.eprintf "serve bench: %s\n" e;
+      exit 1
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  (* A gallery of distinct layouts: tiled column-major views over a grid
+     of tile shapes, plus the anti-diagonal family. *)
+  let layouts =
+    Array.of_list
+      (List.concat_map
+         (fun (a, b) ->
+           List.map
+             (fun (c, d) ->
+               Printf.sprintf "TileOrderBy(Col(%d, %d)).TileBy([%d,%d],[%d,%d])"
+                 (a * b) (c * d) a b c d)
+             [ (2, 3); (3, 2); (2, 2); (4, 2) ])
+         [ (2, 2); (4, 2); (2, 4); (8, 2); (4, 4) ]
+      @ List.map
+          (fun n ->
+            Printf.sprintf "OrderBy(GenP(antidiag[%d,%d])).GroupBy([%d,%d])" n
+              n n n)
+          [ 3; 4; 5; 6 ])
+  in
+  (* Zipf-ish popularity: weight 1/(rank+1) — a few hot layouts, a long
+     cold tail, plenty of duplicates inside and across batches. *)
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  let zipf_total =
+    Array.fold_left ( +. ) 0.0
+      (Array.init (Array.length layouts) (fun r -> 1.0 /. float_of_int (r + 1)))
+  in
+  let draw_layout () =
+    let u = Random.State.float rng zipf_total in
+    let rec go r acc =
+      let acc = acc +. (1.0 /. float_of_int (r + 1)) in
+      if u < acc || r = Array.length layouts - 1 then layouts.(r)
+      else go (r + 1) acc
+    in
+    go 0 0.0
+  in
+  let compile ?(device = "a100") layout =
+    Sv.Json.Obj
+      [
+        ("op", Sv.Json.Str "compile");
+        ("layout", Sv.Json.Str layout);
+        ("emit", Sv.Json.List [ Sv.Json.Str "c" ]);
+        ("device", Sv.Json.Str device);
+      ]
+  in
+  let mk_request () =
+    let u = Random.State.float rng 1.0 in
+    if u < 0.05 then
+      Sv.Json.Obj
+        [
+          ("op", Sv.Json.Str "fingerprint");
+          ("layout", Sv.Json.Str (draw_layout ()));
+        ]
+    else if u < 0.08 then compile "Tile((("  (* parse error *)
+    else if u < 0.10 then compile ~device:"volta" (draw_layout ())
+      (* unknown device *)
+    else compile (draw_layout ())
+  in
+  let n_batches = 40 and batch_size = 16 in
+  (* One fixed script, replayed for the warm pass: identical requests,
+     this time all answerable from the store. *)
+  let script =
+    Array.init n_batches (fun _ ->
+        Sv.Json.List (List.init batch_size (fun _ -> mk_request ())))
+  in
+  let stats () =
+    match Sv.Client.batch c [ Sv.Protocol.Stats ] with
+    | Ok [ r ] -> r
+    | Ok _ | Error _ ->
+      fail "stats round-trip failed";
+      Sv.Json.Null
+  in
+  let stat name j = Option.value ~default:0 (Sv.Json.mem_int name j) in
+  let run_pass label =
+    let before = stats () in
+    let times =
+      Array.map
+        (fun b ->
+          let t0 = Unix.gettimeofday () in
+          (match Sv.Client.rpc c b with
+          | Ok (Sv.Json.List rs) ->
+            if List.length rs <> batch_size then
+              fail "%s: response batch length mismatch" label
+          | Ok _ -> fail "%s: non-array response" label
+          | Error e -> fail "%s: %s" label e);
+          Unix.gettimeofday () -. t0)
+        script
+    in
+    let after = stats () in
+    let hits = stat "compile_hits" after - stat "compile_hits" before in
+    let misses = stat "compile_misses" after - stat "compile_misses" before in
+    let wall = Array.fold_left ( +. ) 0.0 times in
+    let sorted = Array.copy times in
+    Array.sort compare sorted;
+    let pct p =
+      let n = Array.length sorted in
+      sorted.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1)))
+    in
+    let reqs = n_batches * batch_size in
+    let rps = float_of_int reqs /. wall in
+    let hit_rate =
+      if hits + misses = 0 then 0.0
+      else float_of_int hits /. float_of_int (hits + misses)
+    in
+    row
+      "%-6s %6d reqs in %6.1f ms: %8.0f req/s; batch p50 %6.3f ms, p99 %6.3f \
+       ms; compile hits %d / misses %d (%.2f)\n"
+      label reqs (wall *. 1e3) rps
+      (pct 50.0 *. 1e3)
+      (pct 99.0 *. 1e3)
+      hits misses hit_rate;
+    record ~experiment:"serve" ~metric:("reqs_per_s_" ^ label) rps;
+    record ~experiment:"serve"
+      ~metric:("batch_p50_ms_" ^ label)
+      (pct 50.0 *. 1e3);
+    record ~experiment:"serve"
+      ~metric:("batch_p99_ms_" ^ label)
+      (pct 99.0 *. 1e3);
+    record ~experiment:"serve" ~metric:("hit_rate_" ^ label) hit_rate;
+    hit_rate
+  in
+  let cold_rate = run_pass "cold" in
+  let warm_rate = run_pass "warm" in
+  (* The mix repeats hot layouts, so even the cold pass hits sometimes;
+     the warm pass must hit on every well-formed compile. *)
+  if warm_rate < 1.0 then fail "warm pass hit rate %.2f < 1.0" warm_rate;
+  if cold_rate >= warm_rate then
+    fail "cold hit rate %.2f not below warm %.2f" cold_rate warm_rate;
+  (* Tune: one cold search, then the identical request answered from
+     the store — the >= 10x warm-path contract, measured end to end. *)
+  let tune_req =
+    Sv.Protocol.Tune
+      {
+        Sv.Protocol.slot = "matmul";
+        device = "a100";
+        budget = Some 48;
+        top = Some 3;
+        seed = 0;
+        oracle = false;
+        conform = false;
+      }
+  in
+  let timed_tune label =
+    let t0 = Unix.gettimeofday () in
+    match Sv.Client.batch c [ tune_req ] with
+    | Ok [ r ] when Sv.Json.mem_bool "ok" r = Some true ->
+      let dt = Unix.gettimeofday () -. t0 in
+      (dt, Sv.Json.mem_bool "cached" r)
+    | _ ->
+      fail "%s tune round-trip failed" label;
+      (0.0, None)
+  in
+  let tune_cold, cached_cold = timed_tune "cold" in
+  let tune_warm, cached_warm = timed_tune "warm" in
+  if cached_cold <> Some false then fail "cold tune unexpectedly cached";
+  if cached_warm <> Some true then fail "warm tune not served from the store";
+  let speedup = if tune_warm > 0.0 then tune_cold /. tune_warm else 0.0 in
+  row "tune:  cold %8.2f ms -> warm %8.3f ms (x%.0f, store-answered)\n"
+    (tune_cold *. 1e3) (tune_warm *. 1e3) speedup;
+  record ~experiment:"serve" ~metric:"tune_cold_ms" (tune_cold *. 1e3);
+  record ~experiment:"serve" ~metric:"tune_warm_ms" (tune_warm *. 1e3);
+  record ~experiment:"serve" ~metric:"tune_warm_speedup" speedup;
+  if speedup < 10.0 then
+    fail "warm tune only %.1fx faster than cold (< 10x)" speedup;
+  let final = stats () in
+  row "server: %d requests, %d store entries, %d errors (malformed mix lines)\n"
+    (stat "requests" final) (stat "store_entries" final) (stat "errors" final);
+  record ~experiment:"serve" ~metric:"store_entries"
+    (float_of_int (stat "store_entries" final));
+  (match Sv.Client.batch c [ Sv.Protocol.Shutdown ] with
+  | Ok [ r ] when Sv.Json.mem_bool "ok" r = Some true -> ()
+  | _ -> fail "shutdown round-trip failed");
+  Sv.Client.close c;
+  Domain.join server;
+  List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ db; socket ];
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  match !failures with
+  | [] -> row "all serve assertions hold\n"
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "FAIL: %s\n" f) (List.rev fs);
+    exit 1
+
 (* ---- Bechamel micro-benchmarks ----------------------------------------- *)
 
 let micro () =
@@ -678,6 +894,7 @@ let experiments =
     ("ablation", ablation);
     ("conform", conform);
     ("tune", tune);
+    ("serve", serve_bench);
     ("micro", micro);
   ]
 

@@ -20,6 +20,15 @@ let conform_doc =
 
 let tune_doc = "autotune shared-memory layouts against the SIMT cost model"
 
+let serve_doc =
+  "run the persistent layout-compile service (content-addressed store, \
+   warm-start cache)"
+
+let client_doc = "send request batches to a running compile service"
+
+let fingerprint_doc =
+  "print a layout's canonical fingerprint and content-address store key"
+
 let layout_arg =
   let doc = "Layout in LEGO notation, e.g. \
              'OrderBy2(RegP([2,2],[2,1])).GroupBy2([4,4])'." in
@@ -339,9 +348,20 @@ let composed_flag =
            space, side conditions discharged by the prover) as extra \
            search roots.")
 
-let run_tune slot_names budget top sample seed jobs expect_cf no_conform oracle
-    composed scale =
+let device_arg =
+  let doc =
+    Printf.sprintf
+      "Device preset the cost model simulates (%s).  Part of every \
+       cache/store identity: tuning under one preset never reuses \
+       another's results."
+      (String.concat ", " (List.map fst Lego_gpusim.Device.presets))
+  in
+  Arg.(value & opt string "a100" & info [ "device" ] ~docv:"PRESET" ~doc)
+
+let run_tune slot_names device budget top sample seed jobs expect_cf no_conform
+    oracle composed scale =
   let jobs = resolve_jobs jobs in
+  let device_name = String.lowercase_ascii device in
   (* --scale without an explicit --budget would silently search a tiny
      prefix of the mega-space; raise the default to cover it. *)
   let budget =
@@ -349,20 +369,26 @@ let run_tune slot_names budget top sample seed jobs expect_cf no_conform oracle
     else budget
   in
   let slots =
-    match slot_names with
-    | [] -> Ok (T.Slot.all ())
-    | names ->
-      List.fold_right
-        (fun n acc ->
-          match (acc, T.Slot.find n) with
-          | Error _, _ -> acc
-          | Ok _, None ->
-            Error
-              (Printf.sprintf "unknown slot %S (known: %s)" n
-                 (String.concat ", "
-                    (List.map (fun s -> s.T.Slot.name) (T.Slot.all ()))))
-          | Ok ss, Some s -> Ok (s :: ss))
-        names (Ok [])
+    match Lego_gpusim.Device.find device_name with
+    | None ->
+      Error
+        (Printf.sprintf "unknown device %S (known: %s)" device
+           (String.concat ", " (List.map fst Lego_gpusim.Device.presets)))
+    | Some device -> (
+      match slot_names with
+      | [] -> Ok (T.Slot.all ~device ())
+      | names ->
+        List.fold_right
+          (fun n acc ->
+            match (acc, T.Slot.find ~device n) with
+            | Error _, _ -> acc
+            | Ok _, None ->
+              Error
+                (Printf.sprintf "unknown slot %S (known: %s)" n
+                   (String.concat ", "
+                      (List.map (fun s -> s.T.Slot.name) (T.Slot.all ()))))
+            | Ok ss, Some s -> Ok (s :: ss))
+          names (Ok []))
   in
   match slots with
   | Error e ->
@@ -437,9 +463,317 @@ let tune_cmd =
   Cmd.v
     (Cmd.info "tune" ~doc:tune_doc ~man)
     Term.(
-      const run_tune $ slots_arg $ tune_budget_arg $ tune_top_arg
+      const run_tune $ slots_arg $ device_arg $ tune_budget_arg $ tune_top_arg
       $ tune_sample_arg $ tune_seed_arg $ jobs_arg $ expect_cf_flag
       $ no_conform_flag $ oracle_flag $ composed_flag $ scale_flag)
+
+(* ---- legoc serve / client / fingerprint: the compile service ---------- *)
+
+module S = Lego_serve
+
+let socket_arg =
+  let doc = "Unix-domain socket path the service listens (connects) on." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let db_arg =
+  let doc =
+    "Path of the content-addressed store db (default: \
+     ~/.cache/lego/store.db; a scratch file in --oneshot mode)."
+  in
+  Arg.(value & opt (some string) None & info [ "db" ] ~docv:"PATH" ~doc)
+
+let no_db_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "no-db" ]
+        ~doc:"Run with a memory-only store (nothing persisted).")
+
+let oneshot_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "oneshot" ]
+        ~doc:
+          "Self-test mode: start the service on a scratch socket and db \
+           (unless given), drive a scripted cold/warm batch mix through \
+           a real client connection, assert the warm requests hit the \
+           store, shut down cleanly, and exit non-zero on any mismatch.")
+
+exception Oneshot_failure of string
+
+let run_oneshot ~socket ~db ~no_db ~jobs =
+  let dir = Filename.temp_dir "lego-serve" "" in
+  let socket = Option.value ~default:(Filename.concat dir "legoc.sock") socket in
+  let db =
+    if no_db then None
+    else Some (Option.value ~default:(Filename.concat dir "store.db") db)
+  in
+  (* The Exec pool must be created (lazily) by the domain that serves,
+     so the whole server lives in the spawned domain; the main domain
+     plays client over the real socket. *)
+  let server =
+    Domain.spawn (fun () ->
+        let t = S.Server.create ?db ~jobs () in
+        Fun.protect
+          ~finally:(fun () -> S.Server.shutdown t)
+          (fun () -> S.Server.serve t ~socket))
+  in
+  let expect b msg = if not b then raise (Oneshot_failure msg) in
+  let ok r = S.Json.mem_bool "ok" r = Some true in
+  let cached r = S.Json.mem_bool "cached" r in
+  let l1 = "TileOrderBy(Col(8, 6)).TileBy([4,2],[2,3])" in
+  let l2 = "OrderBy(GenP(antidiag[3,3])).GroupBy([3,3])" in
+  let compile layout =
+    S.Protocol.Compile { layout; emit = [ "c" ]; device = "a100" }
+  in
+  let tune =
+    S.Protocol.Tune
+      {
+        S.Protocol.slot = "matmul";
+        device = "a100";
+        budget = Some 24;
+        top = Some 2;
+        seed = 0;
+        oracle = false;
+        conform = false;
+      }
+  in
+  let script = [ compile l1; compile l2; compile l1; tune; S.Protocol.Stats ] in
+  let status =
+    match S.Client.connect ~socket () with
+    | Error e ->
+      Printf.eprintf "oneshot: cannot connect: %s\n" e;
+      1
+    | Ok c -> (
+      let finish () =
+        (match S.Client.batch c [ S.Protocol.Shutdown ] with
+        | Ok [ r ] -> expect (ok r) "shutdown acknowledged"
+        | Ok _ | Error _ -> raise (Oneshot_failure "shutdown round-trip"));
+        S.Client.close c
+      in
+      try
+        (match S.Client.batch c script with
+        | Error e -> raise (Oneshot_failure ("cold batch: " ^ e))
+        | Ok rs ->
+          expect (List.length rs = List.length script) "cold batch length";
+          expect (List.for_all ok rs) "cold batch all ok";
+          let nth = List.nth rs in
+          expect (cached (nth 0) = Some false) "cold compile is a miss";
+          expect
+            (cached (nth 2) = Some true)
+            "duplicate compile in one batch reads as a hit";
+          expect (cached (nth 3) = Some false) "cold tune is a miss";
+          expect
+            (S.Json.mem_int "searches" (nth 4) = Some 1)
+            "one tuner invocation after the cold batch");
+        (match S.Client.batch c script with
+        | Error e -> raise (Oneshot_failure ("warm batch: " ^ e))
+        | Ok rs ->
+          expect (List.for_all ok rs) "warm batch all ok";
+          expect
+            (List.for_all
+               (fun r -> cached r <> Some false)
+               (List.filteri (fun i _ -> i < 4) rs))
+            "warm batch serves every request from the store";
+          expect
+            (S.Json.mem_int "searches" (List.nth rs 4) = Some 1)
+            "warm tune ran zero additional searches");
+        finish ();
+        Printf.printf
+          "oneshot: OK (cold misses, warm hits, 1 tuner run, clean shutdown; \
+           jobs=%d)\n"
+          jobs;
+        0
+      with Oneshot_failure msg ->
+        Printf.eprintf "oneshot: FAIL: %s\n" msg;
+        (try finish () with _ -> ());
+        1)
+  in
+  Domain.join server;
+  (* Best-effort scratch cleanup. *)
+  List.iter
+    (fun f -> try Sys.remove f with Sys_error _ -> ())
+    (Option.to_list db @ [ socket ]);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  status
+
+let run_serve socket db no_db oneshot jobs =
+  let jobs = resolve_jobs jobs in
+  if oneshot then run_oneshot ~socket ~db ~no_db ~jobs
+  else
+    match socket with
+    | None ->
+      Printf.eprintf "error: serve needs --socket PATH (or --oneshot)\n";
+      2
+    | Some socket ->
+      let db =
+        if no_db then None
+        else Some (Option.value ~default:(S.Store.default_path ()) db)
+      in
+      let t = S.Server.create ?db ~jobs () in
+      (match S.Server.load t with
+      | S.Store.Recovered (n, why) ->
+        Printf.eprintf
+          "warning: store damaged (%s); recovered %d entries, truncated the \
+           rest\n"
+          why n
+      | S.Store.Loaded n ->
+        Printf.eprintf "store: %d entries (warm start)\n" n
+      | S.Store.Fresh -> ());
+      Printf.printf "legoc serve: listening on %s (db: %s, jobs=%d)\n%!" socket
+        (match db with Some p -> p | None -> "none")
+        jobs;
+      S.Server.serve t ~socket;
+      S.Server.shutdown t;
+      0
+
+let serve_cmd =
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Keeps the compiler hot: a long-running daemon on a Unix-domain \
+         socket, answering length-prefixed JSON request batches (compile, \
+         tune, fingerprint, stats, shutdown).  Results are addressed by a \
+         digest of their inputs in an append-only on-disk store, which \
+         also warm-starts the autotuner's simulation cache across \
+         restarts.  Identical batches get byte-identical response frames \
+         at any --jobs.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:serve_doc ~man)
+    Term.(
+      const run_serve $ socket_arg $ db_arg $ no_db_flag $ oneshot_flag
+      $ jobs_arg)
+
+let client_batch_arg =
+  let doc =
+    "Request batch to send: a JSON array of request objects, or a single \
+     object (wrapped into a one-element batch)."
+  in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"JSON" ~doc)
+
+let client_stats_flag =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Also request server counters.")
+
+let client_shutdown_flag =
+  Arg.(
+    value & flag & info [ "shutdown" ] ~doc:"Also ask the server to stop.")
+
+let run_client socket json_arg stats shutdown =
+  match socket with
+  | None ->
+    Printf.eprintf "error: client needs --socket PATH\n";
+    2
+  | Some socket -> (
+    let parsed =
+      match json_arg with
+      | None -> Ok []
+      | Some s -> (
+        match S.Json.of_string s with
+        | Ok (S.Json.List _ as b) -> Ok [ b ]
+        | Ok (S.Json.Obj _ as o) -> Ok [ S.Json.List [ o ] ]
+        | Ok _ -> Error "batch must be a JSON array or object"
+        | Error e -> Error e)
+    in
+    match parsed with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      2
+    | Ok batches -> (
+      let one op = S.Json.List [ S.Json.Obj [ ("op", S.Json.Str op) ] ] in
+      let batches =
+        batches
+        @ (if stats then [ one "stats" ] else [])
+        @ if shutdown then [ one "shutdown" ] else []
+      in
+      if batches = [] then begin
+        Printf.eprintf
+          "error: nothing to send (give a JSON batch, --stats or --shutdown)\n";
+        2
+      end
+      else
+        match S.Client.connect ~socket () with
+        | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          1
+        | Ok c ->
+          let all_ok = ref true in
+          List.iter
+            (fun b ->
+              match S.Client.rpc c b with
+              | Error e ->
+                Printf.eprintf "error: %s\n" e;
+                all_ok := false
+              | Ok reply ->
+                print_endline (S.Json.to_string reply);
+                (match reply with
+                | S.Json.List rs ->
+                  List.iter
+                    (fun r ->
+                      if S.Json.mem_bool "ok" r <> Some true then
+                        all_ok := false)
+                    rs
+                | _ -> all_ok := false))
+            batches;
+          S.Client.close c;
+          if !all_ok then 0 else 1))
+
+let client_cmd =
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Connects to a running $(b,legoc serve) socket, sends each batch \
+         as one frame and prints each response frame as one line of \
+         JSON.  Exits non-zero if any response carries \
+         $(b,\"ok\":false).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:client_doc ~man)
+    Term.(
+      const run_client $ socket_arg $ client_batch_arg $ client_stats_flag
+      $ client_shutdown_flag)
+
+let run_fingerprint layout_text device =
+  let device = String.lowercase_ascii device in
+  match Lego_gpusim.Device.find device with
+  | None ->
+    Printf.eprintf "error: unknown device %S (known: %s)\n" device
+      (String.concat ", " (List.map fst Lego_gpusim.Device.presets));
+    2
+  | Some _ -> (
+    match Lego_lang.Elab.layout_of_string layout_text with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok g ->
+      let fp = T.Fingerprint.of_layout g in
+      Printf.printf "fingerprint: %s\n" fp;
+      Printf.printf "digest: %s\n" (Digest.to_hex (Digest.string fp));
+      Printf.printf "device: %s\n" device;
+      Printf.printf "key: %s\n" (S.Server.compile_key ~fp ~device);
+      0)
+
+let fingerprint_cmd =
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses the layout, prints its canonical fingerprint (the stable \
+         printed notation every cache is keyed by), the fingerprint's \
+         MD5 digest, and the content-address under which $(b,legoc \
+         serve) stores the compile artifact for the given device preset \
+         — for correlating store entries and debugging cache behaviour \
+         by hand.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "fingerprint" ~doc:fingerprint_doc ~man)
+    Term.(const run_fingerprint $ layout_arg $ device_arg)
 
 let layout_cmd =
   let doc = layout_doc in
@@ -457,7 +791,8 @@ let layout_cmd =
       const run $ layout_arg $ table_flag $ apply_arg $ inv_arg $ c_flag
       $ triton_flag $ mlir_flag $ check_flag $ jobs_arg)
 
-let subcommand_cmds = [ conform_cmd; tune_cmd ]
+let subcommand_cmds =
+  [ conform_cmd; tune_cmd; serve_cmd; client_cmd; fingerprint_cmd ]
 
 let subcommands =
   Cmd.group (Cmd.info "legoc" ~version:"1.0.0" ~doc:layout_doc) subcommand_cmds
@@ -473,7 +808,13 @@ let print_overview () =
   List.iter
     (fun (cmd, doc) ->
       Printf.printf "  legoc %s [OPTION]...\n      %s\n" (Cmd.name cmd) doc)
-    [ (conform_cmd, conform_doc); (tune_cmd, tune_doc) ];
+    [
+      (conform_cmd, conform_doc);
+      (tune_cmd, tune_doc);
+      (serve_cmd, serve_doc);
+      (client_cmd, client_doc);
+      (fingerprint_cmd, fingerprint_doc);
+    ];
   print_newline ();
   print_endline
     "Run `legoc <command> --help' (or `legoc LAYOUT --help') for the full \

@@ -103,3 +103,13 @@ let scale d f =
     tensor_fp16_tflops = d.tensor_fp16_tflops *. f;
     tensor_fp8_tflops = d.tensor_fp8_tflops *. f;
   }
+
+(* Preset registry: the short names the CLI, the compile service and the
+   store keys use.  [t.name] is the human-readable marketing string;
+   these keys are stable identifiers (lowercase, no spaces) safe to bake
+   into content addresses. *)
+let presets = [ ("a100", a100); ("h100", h100); ("rtx4090", rtx4090) ]
+let find name = List.assoc_opt (String.lowercase_ascii name) presets
+
+let preset_name d =
+  List.find_map (fun (k, p) -> if p == d || p = d then Some k else None) presets

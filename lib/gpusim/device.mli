@@ -50,3 +50,16 @@ val rtx4090 : t
 val scale : t -> float -> t
 (** [scale d f] multiplies every throughput of [d] by [f] (for
     what-if/ablation experiments). *)
+
+val presets : (string * t) list
+(** The named device presets (["a100"]; ["h100"]; ["rtx4090"]) under
+    stable lowercase keys — the identifiers the CLI's [--device], the
+    compile service's requests and the content-addressed store keys use
+    (never [t.name], whose marketing string is free to change). *)
+
+val find : string -> t option
+(** Preset by key, case-insensitive. *)
+
+val preset_name : t -> string option
+(** The preset key of a device, when it is one of {!presets} (a
+    [scale]d or hand-built device has none). *)

@@ -1,0 +1,43 @@
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect ?(retries = 50) ~socket () =
+  let addr = Unix.ADDR_UNIX socket in
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> Ok { fd; closed = false }
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when n > 0 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (* The daemon may still be binding; poll briefly. *)
+      Unix.sleepf 0.02;
+      go (n - 1)
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "connect %s: %s" socket (Unix.error_message e))
+  in
+  go retries
+
+let rpc t batch =
+  if t.closed then Error "client is closed"
+  else
+    match Protocol.write_frame t.fd batch with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "send: %s" (Unix.error_message e))
+    | () -> (
+      match Protocol.read_frame t.fd with
+      | Ok (Some j) -> Ok j
+      | Ok None -> Error "server closed the connection"
+      | Error e -> Error e)
+
+let batch t reqs =
+  match rpc t (Json.List (List.map Protocol.json_of_request reqs)) with
+  | Error e -> Error e
+  | Ok (Json.List rs) -> Ok rs
+  | Ok j -> Error (Printf.sprintf "non-array response: %s" (Json.to_string j))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

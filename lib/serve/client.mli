@@ -1,0 +1,24 @@
+(** Client side of the compile-service protocol: connect to the
+    daemon's Unix-domain socket, exchange one frame per batch. *)
+
+type t
+
+val connect : ?retries:int -> socket:string -> unit -> (t, string) result
+(** Connect to the daemon at [socket].  [retries] (default 50) polls at
+    20 ms intervals while the socket file does not exist yet or refuses
+    connections — covers the race of a client started alongside the
+    daemon (the oneshot self-test and [make serve-smoke] do exactly
+    that). *)
+
+val rpc : t -> Json.t -> (Json.t, string) result
+(** Send one batch (a JSON array of requests), wait for the response
+    frame.  [Error] on a broken or desynchronized connection. *)
+
+val batch :
+  t -> Protocol.request list -> (Json.t list, string) result
+(** [rpc] over typed requests; returns the response objects in
+    submission order ([Error] if the server answers with anything but
+    an array, e.g. the unparseable-frame error object). *)
+
+val close : t -> unit
+(** Idempotent. *)

@@ -1,0 +1,305 @@
+(* Minimal strict JSON with deterministic printing (see the .mli for
+   why determinism is the point).  Hand-rolled recursive descent; the
+   grammar is small and the container ships no JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- printing --------------------------------------------------------- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+        (* Control and non-ASCII bytes escape to \u00XX: the output stays
+           7-bit clean and printing needs no UTF-8 awareness.  (Non-ASCII
+           bytes round-trip as single bytes, which is all the store and
+           protocol require of them.) *)
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest %.g formatting that round-trips: fixed rule, so equal floats
+   always print identically (the determinism contract). *)
+let float_to_string f =
+  if not (Float.is_finite f) then
+    invalid_arg "Json.to_string: non-finite float"
+  else
+    let exact fmt =
+      let s = Printf.sprintf fmt f in
+      if float_of_string s = f then Some s else None
+    in
+    let s =
+      match exact "%.12g" with
+      | Some s -> s
+      | None -> (
+        match exact "%.15g" with
+        | Some s -> s
+        | None -> Printf.sprintf "%.17g" f)
+    in
+    (* Keep floats recognizably floats: 2.0 prints as "2.0", not "2". *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'n') s then s
+    else s ^ ".0"
+
+let rec print_to buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_to_string f)
+  | Str s -> escape_to buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        print_to buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_to buf k;
+        Buffer.add_char buf ':';
+        print_to buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  print_to buf j;
+  Buffer.contents buf
+
+(* ---- parsing ---------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type state = { s : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> parse_error "at %d: expected %c, got %c" st.pos c c'
+  | None -> parse_error "at %d: expected %c, got end of input" st.pos c
+
+let parse_hex4 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+    | Some c when c >= '0' && c <= '9' -> v := (!v * 16) + Char.code c - 48
+    | Some c when c >= 'a' && c <= 'f' -> v := (!v * 16) + Char.code c - 87
+    | Some c when c >= 'A' && c <= 'F' -> v := (!v * 16) + Char.code c - 55
+    | _ -> parse_error "at %d: bad \\u escape" st.pos);
+    advance st
+  done;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> parse_error "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some '"' -> Buffer.add_char buf '"'; advance st
+      | Some '\\' -> Buffer.add_char buf '\\'; advance st
+      | Some '/' -> Buffer.add_char buf '/'; advance st
+      | Some 'n' -> Buffer.add_char buf '\n'; advance st
+      | Some 'r' -> Buffer.add_char buf '\r'; advance st
+      | Some 't' -> Buffer.add_char buf '\t'; advance st
+      | Some 'b' -> Buffer.add_char buf '\b'; advance st
+      | Some 'f' -> Buffer.add_char buf '\012'; advance st
+      | Some 'u' ->
+        advance st;
+        let v = parse_hex4 st in
+        if v < 0x100 then Buffer.add_char buf (Char.chr v)
+        else begin
+          (* Encode BMP code points as UTF-8; printing only ever emits
+             \u00XX, so this path serves foreign producers. *)
+          if v < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xc0 lor (v lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3f)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xe0 lor (v lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((v lsr 6) land 0x3f)));
+            Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3f)))
+          end
+        end
+      | _ -> parse_error "at %d: bad escape" st.pos);
+      go ()
+    | Some c when Char.code c < 0x20 ->
+      parse_error "at %d: raw control character in string" st.pos
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let consume () = advance st in
+  (match peek st with Some '-' -> consume () | _ -> ());
+  let digits () =
+    let n = ref 0 in
+    while (match peek st with Some c when c >= '0' && c <= '9' -> true | _ -> false)
+    do
+      incr n;
+      consume ()
+    done;
+    !n
+  in
+  if digits () = 0 then parse_error "at %d: bad number" st.pos;
+  (match peek st with
+  | Some '.' ->
+    is_float := true;
+    consume ();
+    if digits () = 0 then parse_error "at %d: bad number (no fraction)" st.pos
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    consume ();
+    (match peek st with Some ('+' | '-') -> consume () | _ -> ());
+    if digits () = 0 then parse_error "at %d: bad number (no exponent)" st.pos
+  | _ -> ());
+  let text = String.sub st.s start (st.pos - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> Float (float_of_string text)
+
+let parse_literal st word value =
+  String.iter (fun c -> expect st c) word;
+  value
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> parse_error "unexpected end of input"
+  | Some '"' -> Str (parse_string st)
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec fields_loop () =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        fields := (k, v) :: !fields;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          fields_loop ()
+        | Some '}' -> advance st
+        | _ -> parse_error "at %d: expected , or } in object" st.pos
+      in
+      fields_loop ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec items_loop () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          items_loop ()
+        | Some ']' -> advance st
+        | _ -> parse_error "at %d: expected , or ] in array" st.pos
+      in
+      items_loop ();
+      List (List.rev !items)
+    end
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> parse_error "at %d: unexpected character %C" st.pos c
+
+let of_string s =
+  let st = { s; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos <> String.length s then
+      Error (Printf.sprintf "trailing garbage at %d" st.pos)
+    else Ok v
+  | exception Parse_error m -> Error m
+
+(* ---- accessors -------------------------------------------------------- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let get_string = function Str s -> Some s | _ -> None
+let get_int = function Int i -> Some i | _ -> None
+
+let get_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let get_bool = function Bool b -> Some b | _ -> None
+let get_list = function List xs -> Some xs | _ -> None
+let mem_string k j = Option.bind (member k j) get_string
+let mem_int k j = Option.bind (member k j) get_int
+let mem_float k j = Option.bind (member k j) get_float
+let mem_bool k j = Option.bind (member k j) get_bool
+let equal (a : t) (b : t) = a = b

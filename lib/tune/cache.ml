@@ -1,10 +1,13 @@
 (* Reusable scoring cache, persisting across slot searches in one run.
 
-   Keys are (slot name, fingerprint digest): the static score and the
-   sims depend on the slot's phase list and kernel, so identical
-   layouts under different slots must not collide, while repeated
-   searches of the same slot (re-tuning with different budgets, the
-   CLI tuning several shapes that share a slot) hit.
+   Keys are (slot identity, fingerprint digest), where the identity is
+   [Slot.identity] — name plus device preset plus smem dtype: the
+   static score and the sims depend on the slot's phase list, kernel,
+   device model and element width, so identical layouts under
+   different slots (or the same slot under a different device/dtype)
+   must not collide, while repeated searches of the same slot
+   (re-tuning with different budgets, the CLI tuning several shapes
+   that share a slot) hit.
 
    Concurrency contract (the tuner's): [find] is a pure read and is
    the only operation a parallel section may call; [ensure] and the
@@ -52,6 +55,11 @@ let ensure t ~slot ~fp_digest =
     if Hashtbl.length t.tbl < t.max_entries then
       Hashtbl.add t.tbl (slot, fp_digest) e;
     e
+
+(* Persistence hook for the compile service: walk every entry so sims
+   can be flushed to (or injected from) the on-disk store.  Sequential
+   sections only, like every other mutator-adjacent operation. *)
+let iter t f = Hashtbl.iter (fun (slot, fp_digest) e -> f ~slot ~fp_digest e) t.tbl
 
 let note_hits t n = t.hits <- t.hits + n
 let note_misses t n = t.misses <- t.misses + n

@@ -3,8 +3,11 @@
     One {!t} passed to successive [Tune.search] calls (the CLI creates
     one per run) lets later searches reuse what earlier ones computed:
     static {!Predict.score}s, F₂-linearity verdicts, and sampled/full
-    simulator results, keyed by (slot name, fingerprint digest) so
-    distinct slots never collide.  Cached sims are valid across
+    simulator results, keyed by (slot {e identity}, fingerprint digest).
+    The identity string is {!Slot.identity} — name, device preset and
+    shared-memory dtype — so distinct slots never collide, and neither
+    does the same slot tuned under different devices or dtypes (scores
+    and sims depend on both).  Cached sims are valid across
     fast-path modes (interpreter and compiled runs are bit-identical by
     contract) and cached static scores across oracle modes (oracle and
     compiled scoring agree exactly) — the cache can change only
@@ -43,6 +46,13 @@ val ensure : t -> slot:string -> fp_digest:string -> entry
 (** The entry for the key, inserting a fresh empty one if absent — or a
     {e transient} fresh one (not inserted) once the table holds
     [max_entries].  Sequential sections only. *)
+
+val iter :
+  t -> (slot:string -> fp_digest:string -> entry -> unit) -> unit
+(** Visit every entry (unspecified order) — the persistence hook the
+    compile service uses to flush freshly simulated results to its
+    on-disk store and to warm-start a cache from one.  Sequential
+    sections only. *)
 
 val note_hits : t -> int -> unit
 val note_misses : t -> int -> unit

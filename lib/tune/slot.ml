@@ -15,12 +15,28 @@ type t = {
   descr : string;
   rows : int;
   cols : int;
+  device : G.Device.t;
+  smem_dtype : G.Mem.dtype;
   phases : Predict.phase list;
   simulate : fast:bool -> L.Group_by.t -> sim;
   simulate_sampled : (fast:bool -> L.Group_by.t -> sim) option;
   baselines : (string * sim Lazy.t) list;
   full_warps : bool;
 }
+
+(* The cache/store identity of a slot: simulation results depend on the
+   device model and the shared-memory element width, not just the slot
+   name — "matmul" tuned on an A100 must never satisfy a lookup for
+   "matmul" on an H100 (the regression the (name, fingerprint)-only key
+   had).  Device identity prefers the stable preset key; a scaled or
+   hand-built device falls back to its free-form name. *)
+let identity t =
+  let dev =
+    match G.Device.preset_name t.device with
+    | Some k -> k
+    | None -> t.device.G.Device.name
+  in
+  Printf.sprintf "%s@%s/%s" t.name dev (G.Mem.dtype_name t.smem_dtype)
 
 let sim_of_reports reports =
   let acc, cyc, txn =
@@ -152,6 +168,8 @@ let matmul_smem ?(device = G.Device.a100) () =
     descr = "128x32 FP16 matmul staging tile (shared memory)";
     rows;
     cols;
+    device;
+    smem_dtype = G.Mem.F16;
     phases;
     simulate;
     simulate_sampled =
@@ -262,6 +280,8 @@ let transpose_smem ?(device = G.Device.a100) () =
     descr = "32x32 FP32 transpose tile (shared memory)";
     rows;
     cols;
+    device;
+    smem_dtype = G.Mem.F32;
     phases;
     simulate;
     simulate_sampled =
@@ -453,6 +473,8 @@ let nw_smem ?(device = G.Device.a100) () =
     descr = "17x17 FP32 Needleman-Wunsch score buffer (shared memory)";
     rows;
     cols;
+    device;
+    smem_dtype = G.Mem.F32;
     phases;
     simulate;
     simulate_sampled = Some simulate_sampled;

@@ -26,6 +26,12 @@ type t = {
   descr : string;
   rows : int;
   cols : int;  (** Logical shape of the layout under search. *)
+  device : Lego_gpusim.Device.t;
+      (** The device model the slot's simulations run on — part of the
+          slot's cache identity (see {!identity}). *)
+  smem_dtype : Lego_gpusim.Mem.dtype;
+      (** Shared-memory element type of the slot's kernel, likewise part
+          of the identity (bank-conflict structure depends on it). *)
   phases : Predict.phase list;
       (** Representative warp phases for the static pre-filter. *)
   simulate : fast:bool -> Lego_layout.Group_by.t -> sim;
@@ -47,6 +53,14 @@ type t = {
       (** Every shared round uses a full warp — makes
           {!sim_conflict_free} meaningful. *)
 }
+
+val identity : t -> string
+(** The slot's cache/store identity: ["name@device/dtype"] (e.g.
+    ["matmul@a100/fp16"]).  {!Tune.search} keys its {!Cache} — and the
+    compile service keys its persistent store — by this, not the bare
+    name, so the same slot tuned under different device presets or
+    shared-memory dtypes never cross-contaminates.  Uses the stable
+    {!Lego_gpusim.Device.preset_name} when the device is a preset. *)
 
 val sim_conflict_free : ?device:Lego_gpusim.Device.t -> sim -> bool
 (** The simulation ran every warp-wide shared round at bank degree 1

@@ -114,6 +114,11 @@ let search ?(options = default_options) ?cache (slot : Slot.t) =
   let cache =
     match cache with Some c -> c | None -> Cache.create ~max_entries:0 ()
   in
+  (* Cache keys carry the full slot identity (name, device preset, smem
+     dtype): scores and sims depend on the device model and element
+     width, so "matmul" tuned under a100 must never satisfy a lookup
+     for the same layout under h100. *)
+  let cache_slot = Slot.identity slot in
   (* Oracle mode also switches the space to F₂ class enumeration; the
      class key must use the widest shared element among the slot's
      phases (sub-word key bits for that element width are cost-inert
@@ -166,7 +171,7 @@ let search ?(options = default_options) ?cache (slot : Slot.t) =
   let score_candidate g =
     let fp = Fingerprint.of_layout g in
     let dg = Digest.string fp in
-    match Cache.find cache ~slot:slot.name ~fp_digest:dg with
+    match Cache.find cache ~slot:cache_slot ~fp_digest:dg with
     | Some ({ static_ = Some s; linear; _ } : Cache.entry)
       when (not options.oracle) || linear <> None ->
       (fp, dg, s, options.oracle && linear = Some true, true)
@@ -201,7 +206,7 @@ let search ?(options = default_options) ?cache (slot : Slot.t) =
           if lin then incr oracle_scored;
           if hit then incr hits
           else if cache_static then begin
-            let e = Cache.ensure cache ~slot:slot.name ~fp_digest:dg in
+            let e = Cache.ensure cache ~slot:cache_slot ~fp_digest:dg in
             e.Cache.static_ <- Some s;
             if options.oracle then e.Cache.linear <- Some lin
           end;
@@ -234,7 +239,7 @@ let search ?(options = default_options) ?cache (slot : Slot.t) =
       Exec.map ~chunk:1 ~pool
         (Array.mapi (fun i sc -> (sc, digests.(i))) arr)
         (fun (sc, dg) ->
-          match Cache.find cache ~slot:slot.name ~fp_digest:dg with
+          match Cache.find cache ~slot:cache_slot ~fp_digest:dg with
           | Some e when get e <> None -> (Option.get (get e), true)
           | _ -> (simulate ~fast:options.fastpath sc.layout, false))
     in
@@ -243,7 +248,7 @@ let search ?(options = default_options) ?cache (slot : Slot.t) =
       (fun i (sim, hit) ->
         if hit then incr hits
         else begin
-          let e = Cache.ensure cache ~slot:slot.name ~fp_digest:digests.(i) in
+          let e = Cache.ensure cache ~slot:cache_slot ~fp_digest:digests.(i) in
           set e sim
         end)
       sims;

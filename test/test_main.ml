@@ -15,4 +15,5 @@ let () =
       Test_fastpath.suite;
       Test_apps.suite;
       Test_tune.suite;
+      Test_serve.suite;
     ]

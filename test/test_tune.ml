@@ -492,6 +492,8 @@ let toy_slot () =
     descr = "3x3 toy space";
     rows;
     cols;
+    device = Lego_gpusim.Device.a100;
+    smem_dtype = Lego_gpusim.Mem.F32;
     phases;
     simulate;
     simulate_sampled = None;
@@ -824,7 +826,7 @@ let test_cli_overview_lists_subcommands () =
           Alcotest.(check bool)
             (Printf.sprintf "legoc %s mentions %S" (String.concat " " args) sub)
             true (contains out sub))
-        [ "conform"; "tune"; "LAYOUT" ])
+        [ "conform"; "tune"; "serve"; "client"; "fingerprint"; "LAYOUT" ])
     [ []; [ "--help" ] ]
 
 let suite =
